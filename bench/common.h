@@ -1,0 +1,69 @@
+// Shared harness code for the per-figure/table reproduction binaries.
+//
+// Every bench binary regenerates one piece of the paper's evaluation and
+// prints the series/rows in a stable plain-text format, with the paper's
+// reported values alongside where applicable.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "phy/error_model.h"
+#include "trace/dataset.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace libra::bench {
+
+struct Workbench {
+  phy::McsTable mcs_table;
+  std::unique_ptr<phy::ErrorModel> error_model;
+  trace::Dataset training;
+  trace::Dataset testing;
+
+  static Workbench collect(bool with_na = true, std::uint64_t seed = 1) {
+    Workbench wb;
+    wb.error_model = std::make_unique<phy::ErrorModel>(&wb.mcs_table);
+    trace::CollectOptions opt;
+    opt.seed = seed;
+    opt.with_na_augmentation = with_na;
+    wb.training = trace::collect_dataset(trace::training_scenarios(),
+                                         *wb.error_model, opt);
+    opt.seed = seed + 76;
+    wb.testing = trace::collect_dataset(trace::testing_scenarios(),
+                                        *wb.error_model, opt);
+    return wb;
+  }
+};
+
+// Print a CDF as a fixed set of quantiles -- the shape summary used to
+// compare against the paper's figure curves.
+inline void print_cdf_row(util::Table& table, const std::string& label,
+                          std::vector<double> samples, int precision = 2) {
+  if (samples.empty()) {
+    table.add_row({label, "-", "-", "-", "-", "-", "-"});
+    return;
+  }
+  util::EmpiricalCdf cdf(std::move(samples));
+  table.add_row({label,
+                 std::to_string(cdf.size()),
+                 util::format_double(cdf.quantile(0.10), precision),
+                 util::format_double(cdf.quantile(0.25), precision),
+                 util::format_double(cdf.quantile(0.50), precision),
+                 util::format_double(cdf.quantile(0.75), precision),
+                 util::format_double(cdf.quantile(0.90), precision)});
+}
+
+inline util::Table cdf_table(const std::string& first_col) {
+  return util::Table({first_col, "n", "p10", "p25", "p50", "p75", "p90"});
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace libra::bench

@@ -1,0 +1,131 @@
+// Figures 4-9 (Sec. 6.1): CDFs of each PHY metric, separately for the cases
+// where BA outperforms RA and where RA outperforms BA, per impairment type
+// and for the combined dataset.
+//
+// Metrics: SNR difference (Fig. 4), ToF difference (Fig. 5), PDP similarity
+// (Fig. 6), CSI similarity (Fig. 7), CDR (Fig. 8), initial MCS (Fig. 9).
+// The paper's headline observations are printed after each figure block.
+#include <cstdio>
+#include <functional>
+#include <optional>
+
+#include "common.h"
+
+using namespace libra;
+
+namespace {
+
+using Extract = std::function<std::optional<double>(const trace::LabeledEntry&)>;
+
+void figure(const char* title, const std::vector<trace::LabeledEntry>& entries,
+            const Extract& metric, const char* note, int precision = 2) {
+  bench::heading(title);
+  util::Table t = bench::cdf_table("subset");
+  const std::pair<const char*, std::optional<trace::Impairment>> subsets[] = {
+      {"Displacement", trace::Impairment::kDisplacement},
+      {"Blockage", trace::Impairment::kBlockage},
+      {"Interference", trace::Impairment::kInterference},
+      {"Overall", std::nullopt},
+  };
+  for (const auto& [name, imp] : subsets) {
+    for (trace::Action cls : {trace::Action::kBA, trace::Action::kRA}) {
+      std::vector<double> values;
+      for (const trace::LabeledEntry& e : entries) {
+        if (imp && e.impairment != *imp) continue;
+        if (e.y != cls) continue;
+        if (const auto v = metric(e)) values.push_back(*v);
+      }
+      bench::print_cdf_row(t, std::string(name) + "/" + to_string(cls),
+                           std::move(values), precision);
+    }
+  }
+  std::printf("%s%s\n", t.to_string().c_str(), note);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figures 4-9: PHY metric CDFs for BA-wins vs RA-wins cases\n");
+  auto wb = bench::Workbench::collect(/*with_na=*/false);
+  trace::GroundTruthConfig gt;  // alpha = 1 as in Sec. 6.1
+  const auto entries = wb.training.labeled(gt);
+
+  figure("Fig. 4: SNR difference (dB)", entries,
+         [](const trace::LabeledEntry& e) {
+           return std::optional<double>(e.x.snr_diff_db());
+         },
+         "paper: drops > ~7 dB (displacement) occur only in BA cases; the\n"
+         "threshold shifts to ~12 dB on the combined dataset.");
+
+  figure("Fig. 5: ToF difference (ns; finite cases only)", entries,
+         [](const trace::LabeledEntry& e) -> std::optional<double> {
+           if (e.x.tof_diff_ns() >= trace::kTofInfinity) return std::nullopt;
+           return e.x.tof_diff_ns();
+         },
+         "paper: RA-wins cases have negative ToF difference (backward\n"
+         "motion); zero-or-infinite ToF difference implies BA.");
+  {
+    // Companion statistic: the fraction of cases with unmeasurable ToF.
+    int inf_ba = 0, n_ba = 0, inf_ra = 0, n_ra = 0;
+    for (const auto& e : entries) {
+      const bool inf = e.x.tof_diff_ns() >= trace::kTofInfinity;
+      if (e.y == trace::Action::kBA) {
+        ++n_ba;
+        inf_ba += inf;
+      } else {
+        ++n_ra;
+        inf_ra += inf;
+      }
+    }
+    std::printf("ToF=infinity fraction: BA-wins %.2f  RA-wins %.2f\n",
+                double(inf_ba) / n_ba, double(inf_ra) / n_ra);
+  }
+
+  figure("Fig. 6: PDP similarity", entries,
+         [](const trace::LabeledEntry& e) {
+           return std::optional<double>(e.x.pdp_similarity());
+         },
+         "paper: PDP similarity is high everywhere (>0.65; sparse 60 GHz\n"
+         "channels) and cannot separate the classes.");
+
+  figure("Fig. 7: CSI (FFT-of-PDP) similarity", entries,
+         [](const trace::LabeledEntry& e) {
+           return std::optional<double>(e.x.csi_similarity());
+         },
+         "paper: CSI similarity spans a wide range but the class CDFs\n"
+         "overlap heavily.");
+
+  figure("Fig. 8: CDR at the initial MCS", entries,
+         [](const trace::LabeledEntry& e) {
+           return std::optional<double>(e.x.cdr());
+         },
+         "paper: CDR collapses to ~0 for ~90% of BA cases AND ~70% of RA\n"
+         "cases -- loss alone cannot choose the mechanism.");
+
+  figure("Fig. 9: initial MCS", entries,
+         [](const trace::LabeledEntry& e) {
+           return std::optional<double>(e.x.initial_mcs());
+         },
+         "paper: RA wins almost only from a high initial MCS; low initial\n"
+         "MCS leaves no headroom for RA and implies BA.",
+         0);
+
+  // Single-threshold classification power (Sec. 6.1.1): how many BA cases a
+  // 7 dB SNR-drop threshold identifies under displacement vs combined.
+  int ba_disp = 0, ba_disp_over7 = 0, ba_all = 0, ba_all_over12 = 0;
+  for (const auto& e : entries) {
+    if (e.y != trace::Action::kBA) continue;
+    if (e.impairment == trace::Impairment::kDisplacement) {
+      ++ba_disp;
+      ba_disp_over7 += e.x.snr_diff_db() > 7.0;
+    }
+    ++ba_all;
+    ba_all_over12 += e.x.snr_diff_db() > 12.0;
+  }
+  std::printf(
+      "\nSNR-threshold classification power: displacement >7dB identifies "
+      "%.0f%% of BA cases (paper 73%%); combined >12dB identifies %.0f%% "
+      "(paper 30%%).\n",
+      100.0 * ba_disp_over7 / ba_disp, 100.0 * ba_all_over12 / ba_all);
+  return 0;
+}

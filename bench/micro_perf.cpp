@@ -1,0 +1,173 @@
+// Micro-benchmarks (google-benchmark).
+//
+// The paper argues LiBRA is deployable because the per-decision inference
+// cost is negligible (0.5 ms on a phone GPU; decisions every 2 frames).
+// These benches measure our RF/DT/DNN inference, feature extraction, the
+// ray tracer, the O(N) vs O(N^2) beam sweeps, and one full simulated event.
+#include <benchmark/benchmark.h>
+
+#include "core/classifier.h"
+#include "env/registry.h"
+#include "mac/beam_training.h"
+#include "ml/decision_tree.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "phy/error_model.h"
+#include "phy/pdp.h"
+#include "sim/event_sim.h"
+#include "trace/dataset.h"
+#include "util/fft.h"
+
+using namespace libra;
+
+namespace {
+
+// Shared state, built once.
+struct Fixture {
+  phy::McsTable table;
+  phy::ErrorModel em{&table};
+  trace::Dataset training;
+  trace::GroundTruthConfig gt;
+  ml::DataSet train_ds{trace::FeatureVector::kDim};
+  core::LibraClassifier classifier;
+  util::Rng rng{1};
+
+  Fixture() {
+    trace::CollectOptions opt;
+    opt.with_na_augmentation = true;
+    training = trace::collect_dataset(trace::training_scenarios(), em, opt);
+    for (const auto& e : training.labeled(gt)) {
+      train_ds.add(e.x.v, e.y == trace::Action::kBA ? 0 : 1);
+    }
+    classifier.train(training, gt, rng);
+  }
+
+  static Fixture& get() {
+    static Fixture f;
+    return f;
+  }
+};
+
+void BM_RandomForestInference(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const auto row = f.train_ds.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.classifier.forest().predict(row));
+  }
+}
+BENCHMARK(BM_RandomForestInference);
+
+void BM_DecisionTreeInference(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::DecisionTree dt;
+  util::Rng rng(2);
+  dt.fit(f.train_ds, rng);
+  const auto row = f.train_ds.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt.predict(row));
+  }
+}
+BENCHMARK(BM_DecisionTreeInference);
+
+void BM_DnnInference(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::NeuralNetConfig cfg;
+  cfg.epochs = 5;  // training cost is irrelevant here
+  ml::NeuralNet nn(cfg);
+  util::Rng rng(3);
+  nn.fit(f.train_ds, rng);
+  const auto row = f.train_ds.row(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn.predict(row));
+  }
+}
+BENCHMARK(BM_DnnInference);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const trace::CaseRecord& rec = f.training.records.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::extract_features(rec));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_RandomForestTraining(benchmark::State& state) {
+  auto& f = Fixture::get();
+  for (auto _ : state) {
+    ml::RandomForest rf;
+    util::Rng rng(4);
+    rf.fit(f.train_ds, rng);
+    benchmark::DoNotOptimize(rf);
+  }
+}
+BENCHMARK(BM_RandomForestTraining)->Unit(benchmark::kMillisecond);
+
+void BM_RayTraceLobby(benchmark::State& state) {
+  const env::Environment lobby = env::make_lobby();
+  const channel::PathTracer tracer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.trace(lobby, {2, 6}, {14, 8}));
+  }
+}
+BENCHMARK(BM_RayTraceLobby);
+
+void BM_ExhaustiveSweep625(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const env::Environment lobby = env::make_lobby();
+  const array::Codebook cb;
+  array::PhasedArray tx({2, 6}, 0, &cb);
+  array::PhasedArray rx({14, 8}, 180, &cb);
+  channel::Link link(&lobby, &tx, &rx);
+  const phy::PhySampler sampler(&f.em);
+  const mac::BeamTrainer trainer;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.exhaustive(link, sampler, rng));
+  }
+}
+BENCHMARK(BM_ExhaustiveSweep625)->Unit(benchmark::kMicrosecond);
+
+void BM_Sls80211ad(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const env::Environment lobby = env::make_lobby();
+  const array::Codebook cb;
+  array::PhasedArray tx({2, 6}, 0, &cb);
+  array::PhasedArray rx({14, 8}, 180, &cb);
+  channel::Link link(&lobby, &tx, &rx);
+  const phy::PhySampler sampler(&f.em);
+  const mac::BeamTrainer trainer;
+  util::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trainer.sls_80211ad(link, sampler, rng));
+  }
+}
+BENCHMARK(BM_Sls80211ad)->Unit(benchmark::kMicrosecond);
+
+void BM_Fft256(benchmark::State& state) {
+  std::vector<double> pdp(256, 1e-9);
+  pdp[10] = 1e-3;
+  pdp[40] = 1e-5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::magnitude_spectrum(pdp));
+  }
+}
+BENCHMARK(BM_Fft256);
+
+void BM_SimulatedEvent(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const sim::EventSimulator simulator(&f.classifier);
+  sim::EventParams p;
+  p.rule = f.gt;
+  util::Rng rng(7);
+  const trace::CaseRecord& rec = f.training.records.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        simulator.run(rec, core::Strategy::kLibra, p, rng));
+  }
+}
+BENCHMARK(BM_SimulatedEvent)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Sec. 7 design experiments:
+//
+//   1. 3-class RF (BA / RA / NA) on the NA-augmented datasets: paper reports
+//      98% 5-fold CV accuracy and 94% on the testing dataset.
+//   2. Observation-window length: retraining on short (40 ms) windows costs
+//      about 3 accuracy points (paper).
+//   3. The missing-ACK rule: with the current MCS below 6, BA is the right
+//      mechanism 92% of the time; at MCS >= 6 the split is 48/52.
+#include <cstdio>
+#include <memory>
+
+#include "common.h"
+#include "core/classifier.h"
+#include "ml/cross_validation.h"
+#include "ml/random_forest.h"
+
+using namespace libra;
+
+namespace {
+
+ml::DataSet to_dataset3(const std::vector<trace::LabeledEntry>& entries) {
+  ml::DataSet d(trace::FeatureVector::kDim);
+  for (const auto& e : entries) {
+    d.add(e.x.v, core::LibraClassifier::to_label(e.y));
+  }
+  return d;
+}
+
+void run_pair(const char* label, const trace::Dataset& train,
+              const trace::Dataset& test, const trace::GroundTruthConfig& gt,
+              util::Rng& rng, util::Table& t, const char* paper) {
+  const ml::DataSet dtr = to_dataset3(train.labeled3(gt));
+  const ml::DataSet dte = to_dataset3(test.labeled3(gt));
+  const ml::ClassifierFactory rf = [] {
+    return std::make_unique<ml::RandomForest>();
+  };
+  const ml::CvResult cv = ml::cross_validate(dtr, rf, 5, 10, rng);
+  const ml::CvResult xb = ml::train_test(dtr, dte, rf, rng);
+  t.add_row({label, std::to_string(dtr.size()),
+             util::format_double(100 * cv.accuracy, 1),
+             util::format_double(100 * xb.accuracy, 1), paper});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sec. 7: 3-class model, observation window, missing-ACK rule\n");
+  trace::GroundTruthConfig gt;
+
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+
+  // Long (1 s) observation windows, as collected for Sec. 6.
+  auto wb = bench::Workbench::collect(/*with_na=*/true);
+
+  bench::heading("3-class RF accuracy (BA / RA / NA) vs observation window");
+  util::Table t({"window", "train entries", "5-fold CV acc", "x-bldg acc",
+                 "paper"});
+  util::Rng rng(7);
+  run_pair("1 s traces", wb.training, wb.testing, gt, rng, t, "98 / 94");
+  // Shorter observation windows average fewer frames, so every metric is
+  // sqrt(100/frames) times noisier. The paper reports the 40 ms point
+  // (~3 points lower); we sweep the whole range.
+  for (int frames : {10, 4, 2}) {
+    trace::CollectOptions short_opt;
+    short_opt.collector.frames_per_trace = frames;
+    short_opt.with_na_augmentation = true;
+    auto train_w =
+        trace::collect_dataset(trace::training_scenarios(), em, short_opt);
+    short_opt.seed = 77;
+    auto test_w =
+        trace::collect_dataset(trace::testing_scenarios(), em, short_opt);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%d ms windows", frames * 10);
+    run_pair(label, train_w, test_w, gt, rng, t,
+             frames == 4 ? "~3 pts lower" : "-");
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  // --- Missing-ACK rule statistics (training dataset, 2-class labels). ---
+  bench::heading("missing-ACK rule: P(BA is right | current MCS)");
+  int low_ba = 0, low_n = 0, high_ba = 0, high_n = 0;
+  for (const auto& e : wb.training.labeled(gt)) {
+    const bool ba = e.y == trace::Action::kBA;
+    if (e.x.initial_mcs() < 6) {
+      ++low_n;
+      low_ba += ba;
+    } else {
+      ++high_n;
+      high_ba += ba;
+    }
+  }
+  util::Table r({"current MCS", "cases", "BA right", "paper"});
+  r.add_row({"< 6", std::to_string(low_n),
+             util::format_double(100.0 * low_ba / std::max(low_n, 1), 0) + "%",
+             "92%"});
+  r.add_row({">= 6", std::to_string(high_n),
+             util::format_double(100.0 * high_ba / std::max(high_n, 1), 0) +
+                 "%",
+             "48%"});
+  std::printf("%s", r.to_string().c_str());
+  std::printf(
+      "LiBRA rule: MCS<6 -> BA always; MCS>=6 -> BA first iff the BA\n"
+      "overhead is low (a few ms), RA first otherwise.\n");
+  return 0;
+}

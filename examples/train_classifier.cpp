@@ -1,0 +1,75 @@
+// Train all four model families on the measurement campaign, compare their
+// accuracy, and interrogate the deployed random forest about specific
+// what-if situations -- the core of LiBRA's "which mechanism?" decision.
+#include <cstdio>
+#include <memory>
+
+#include "core/classifier.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "phy/error_model.h"
+#include "trace/dataset.h"
+
+using namespace libra;
+
+int main() {
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+  trace::CollectOptions opt;
+  const trace::Dataset training =
+      trace::collect_dataset(trace::training_scenarios(), em, opt);
+  trace::GroundTruthConfig gt;
+
+  ml::DataSet data(trace::FeatureVector::kDim);
+  for (const auto& e : training.labeled(gt)) {
+    data.add(e.x.v, e.y == trace::Action::kBA ? 0 : 1);
+  }
+  std::printf("training on %zu labeled cases (BA vs RA)\n", data.size());
+
+  util::Rng rng(1);
+  const std::pair<const char*, ml::ClassifierFactory> models[] = {
+      {"decision tree", [] { return std::make_unique<ml::DecisionTree>(); }},
+      {"random forest", [] { return std::make_unique<ml::RandomForest>(); }},
+      {"SVM (RBF)", [] { return std::make_unique<ml::Svm>(); }},
+      {"DNN", [] { return std::make_unique<ml::NeuralNet>(); }},
+  };
+  for (const auto& [name, factory] : models) {
+    const ml::CvResult cv = ml::cross_validate(data, factory, 5, 5, rng);
+    std::printf("  %-14s 5-fold CV accuracy %.1f%%, weighted F1 %.1f%%\n",
+                name, 100 * cv.accuracy, 100 * cv.weighted_f1);
+  }
+
+  // Deploy the 3-class model and ask it about scenarios.
+  core::LibraClassifier libra_clf;
+  libra_clf.train(training, gt, rng);
+
+  std::printf("\nwhat would LiBRA do?\n");
+  struct WhatIf {
+    const char* description;
+    trace::FeatureVector x;
+  };
+  auto features = [](double snr_diff, double tof_diff, double noise_diff,
+                     double pdp, double csi, double cdr, double mcs) {
+    trace::FeatureVector f;
+    f.v = {snr_diff, tof_diff, noise_diff, pdp, csi, cdr, mcs};
+    return f;
+  };
+  const WhatIf cases[] = {
+      {"18 dB SNR drop, ToF unmeasurable (hard rotation)",
+       features(18, trace::kTofInfinity, 0, 0.95, 0.9, 0.0, 5)},
+      {"6 dB drop, ToF got longer (walked backwards)",
+       features(6, -20, 0, 1.0, 0.98, 0.1, 8)},
+      {"2 dB drop, noise +6 dB (hidden terminal)",
+       features(2, 0, 6, 1.0, 1.0, 0.55, 6)},
+      {"0.3 dB drop, everything stable",
+       features(0.3, 0, 0.1, 1.0, 1.0, 0.97, 7)},
+  };
+  for (const WhatIf& w : cases) {
+    const trace::Action a = libra_clf.classify(w.x, rng);
+    std::printf("  %-50s -> %s\n", w.description, to_string(a).c_str());
+  }
+  return 0;
+}

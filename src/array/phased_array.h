@@ -1,0 +1,38 @@
+// A phased antenna array placed in the world: position + boresight
+// orientation + codebook. Converts world-frame departure/arrival angles into
+// array-frame angles and looks up beam gains.
+#pragma once
+
+#include "array/codebook.h"
+#include "geom/geometry.h"
+
+namespace libra::array {
+
+class PhasedArray {
+ public:
+  PhasedArray(geom::Vec2 position, double boresight_deg,
+              const Codebook* codebook);
+
+  geom::Vec2 position() const { return position_; }
+  double boresight_deg() const { return boresight_deg_; }
+  const Codebook& codebook() const { return *codebook_; }
+
+  void set_position(geom::Vec2 p) { position_ = p; }
+  void set_boresight_deg(double deg) { boresight_deg_ = deg; }
+  // Rotate by delta degrees (positive = counter-clockwise), as in the
+  // paper's rotation experiments (steps of 15 degrees, Sec. 4.2).
+  void rotate(double delta_deg);
+
+  // Gain (dBi) of `beam` toward a world-frame direction (degrees).
+  double gain_dbi(BeamId beam, double world_angle_deg) const;
+
+  // World-frame angle from this array toward a point.
+  double angle_to(geom::Vec2 target) const;
+
+ private:
+  geom::Vec2 position_;
+  double boresight_deg_;
+  const Codebook* codebook_;  // non-owning; outlives the array
+};
+
+}  // namespace libra::array

@@ -1,0 +1,47 @@
+// Temporal channel fading.
+//
+// The ray tracer gives the deterministic geometry; real links additionally
+// see slow log-normal shadowing (people moving nearby, small sway) and
+// residual fast fading. This process generates a dB offset that evolves as
+// an AR(1) (Gauss-Markov) sequence with a configurable coherence time --
+// the standard model for shadowing dynamics. Sessions apply it through
+// Link::set_fade_db.
+#pragma once
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace libra::channel {
+
+struct FadingConfig {
+  double sigma_db = 1.5;          // stationary standard deviation
+  double coherence_time_ms = 200; // autocorrelation ~ exp(-dt / tau)
+};
+
+class FadingProcess {
+ public:
+  FadingProcess(FadingConfig cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  // Advance the process by dt and return the current fade offset (dB).
+  double advance(double dt_ms) {
+    const double rho =
+        cfg_.coherence_time_ms > 0
+            ? std::exp(-dt_ms / cfg_.coherence_time_ms)
+            : 0.0;
+    fade_db_ = rho * fade_db_ +
+               std::sqrt(1.0 - rho * rho) * rng_.gaussian(0.0, cfg_.sigma_db);
+    return fade_db_;
+  }
+
+  double current_db() const { return fade_db_; }
+  const FadingConfig& config() const { return cfg_; }
+
+ private:
+  FadingConfig cfg_;
+  util::Rng rng_;
+  double fade_db_ = 0.0;
+};
+
+}  // namespace libra::channel

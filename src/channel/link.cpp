@@ -1,0 +1,103 @@
+#include "channel/link.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace libra::channel {
+
+namespace {
+constexpr double kNoSignalDbm = -200.0;
+}
+
+Link::Link(const env::Environment* env, array::PhasedArray* tx,
+           array::PhasedArray* rx, LinkBudgetConfig cfg)
+    : env_(env),
+      tx_(tx),
+      rx_(rx),
+      cfg_(cfg),
+      thermal_floor_dbm_(thermal_noise_floor_dbm(cfg)) {
+  if (!env_ || !tx_ || !rx_) throw std::invalid_argument("null link member");
+  refresh();
+}
+
+void Link::refresh() {
+  paths_ = tracer_.trace(*env_, tx_->position(), rx_->position());
+  if (interferer_) {
+    interferer_paths_ =
+        tracer_.trace(*env_, interferer_->position, rx_->position());
+  } else {
+    interferer_paths_.clear();
+  }
+}
+
+void Link::set_interferer(std::optional<Interferer> interferer) {
+  interferer_ = interferer;
+  if (interferer_) {
+    interferer_paths_ =
+        tracer_.trace(*env_, interferer_->position, rx_->position());
+  } else {
+    interferer_paths_.clear();
+  }
+}
+
+std::vector<PathContribution> Link::contributions(
+    array::BeamId tx_beam, array::BeamId rx_beam) const {
+  std::vector<PathContribution> out;
+  out.reserve(paths_.size());
+  for (const Path& p : paths_) {
+    double blockage_db = 0.0;
+    for (std::size_t i = 0; i + 1 < p.points.size(); ++i) {
+      blockage_db += env_->blockage_loss_db(p.points[i], p.points[i + 1]);
+    }
+    const double power =
+        cfg_.tx_power_dbm + tx_->gain_dbi(tx_beam, p.aod_deg) +
+        rx_->gain_dbi(rx_beam, p.aoa_deg) - path_loss_db(cfg_, p.length_m) -
+        p.reflection_loss_db - blockage_db;
+    out.push_back({power,
+                   p.length_m / libra::util::kSpeedOfLightMps *
+                       libra::util::kNsPerSecond,
+                   p.aod_deg, p.aoa_deg, p.bounces});
+  }
+  return out;
+}
+
+double Link::rx_power_dbm(array::BeamId tx_beam, array::BeamId rx_beam) const {
+  double total_mw = 0.0;
+  for (const PathContribution& c : contributions(tx_beam, rx_beam)) {
+    total_mw += libra::util::dbm_to_mw(c.rx_power_dbm);
+  }
+  if (total_mw <= 0.0) return kNoSignalDbm;
+  return libra::util::mw_to_dbm(total_mw) + fade_db_;
+}
+
+double Link::interference_power_dbm(array::BeamId rx_beam) const {
+  if (!interferer_) return kNoSignalDbm;
+  double total_mw = 0.0;
+  for (const Path& p : interferer_paths_) {
+    const double power = interferer_->eirp_dbm +
+                         rx_->gain_dbi(rx_beam, p.aoa_deg) -
+                         path_loss_db(cfg_, p.length_m) - p.reflection_loss_db;
+    total_mw += libra::util::dbm_to_mw(power);
+  }
+  if (total_mw <= 0.0) return kNoSignalDbm;
+  return libra::util::mw_to_dbm(total_mw);
+}
+
+double Link::noise_floor_dbm(array::BeamId rx_beam) const {
+  const double base = thermal_floor_dbm_ + interference_rise_db_;
+  if (!interferer_) return base;
+  return libra::util::dbm_add(base, interference_power_dbm(rx_beam));
+}
+
+double Link::snr_db(array::BeamId tx_beam, array::BeamId rx_beam) const {
+  return rx_power_dbm(tx_beam, rx_beam) - noise_floor_dbm(rx_beam);
+}
+
+double Link::snr_clean_db(array::BeamId tx_beam,
+                          array::BeamId rx_beam) const {
+  return rx_power_dbm(tx_beam, rx_beam) -
+         (thermal_floor_dbm_ + interference_rise_db_);
+}
+
+}  // namespace libra::channel

@@ -1,0 +1,23 @@
+#include "channel/link_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace libra::channel {
+
+double fspl_db(double distance_m, double frequency_hz) {
+  const double d = std::max(distance_m, 0.1);  // near-field guard
+  return 20.0 * std::log10(d) + 20.0 * std::log10(frequency_hz) +
+         20.0 * std::log10(4.0 * M_PI / libra::util::kSpeedOfLightMps);
+}
+
+double path_loss_db(const LinkBudgetConfig& cfg, double distance_m) {
+  return fspl_db(distance_m, cfg.frequency_hz) +
+         cfg.oxygen_db_per_m * distance_m + cfg.implementation_loss_db;
+}
+
+double thermal_noise_floor_dbm(const LinkBudgetConfig& cfg) {
+  return -174.0 + 10.0 * std::log10(cfg.bandwidth_hz) + cfg.noise_figure_db;
+}
+
+}  // namespace libra::channel

@@ -1,0 +1,81 @@
+#include "channel/path_tracer.h"
+
+namespace libra::channel {
+
+bool PathTracer::leg_clear(const env::Environment& env, geom::Vec2 a,
+                           geom::Vec2 b, const geom::Wall* skip1,
+                           const geom::Wall* skip2) const {
+  const geom::Segment ray{a, b};
+  for (const geom::Wall& w : env.walls()) {
+    if (&w == skip1 || &w == skip2) continue;
+    if (geom::segments_cross(ray, w.seg)) return false;
+  }
+  return true;
+}
+
+std::vector<Path> PathTracer::trace(const env::Environment& env, geom::Vec2 tx,
+                                    geom::Vec2 rx) const {
+  std::vector<Path> paths;
+
+  // LOS.
+  if (leg_clear(env, tx, rx, nullptr, nullptr)) {
+    Path p;
+    p.aod_deg = (rx - tx).angle_deg();
+    p.aoa_deg = (tx - rx).angle_deg();
+    p.length_m = geom::distance(tx, rx);
+    p.bounces = 0;
+    p.points = {tx, rx};
+    paths.push_back(std::move(p));
+  }
+
+  if (max_bounces_ < 1) return paths;
+
+  // First-order reflections: mirror tx across each wall; the reflection
+  // point is where image->rx crosses the wall.
+  for (const geom::Wall& w : env.walls()) {
+    const geom::Vec2 image = geom::mirror(tx, w.seg);
+    const auto hit = geom::intersect({image, rx}, w.seg);
+    if (!hit) continue;
+    if (!leg_clear(env, tx, *hit, &w, nullptr)) continue;
+    if (!leg_clear(env, *hit, rx, &w, nullptr)) continue;
+    Path p;
+    p.aod_deg = (*hit - tx).angle_deg();
+    p.aoa_deg = (*hit - rx).angle_deg();
+    p.length_m = geom::distance(tx, *hit) + geom::distance(*hit, rx);
+    p.reflection_loss_db = w.reflection_loss_db;
+    p.bounces = 1;
+    p.points = {tx, *hit, rx};
+    paths.push_back(std::move(p));
+  }
+
+  if (max_bounces_ < 2) return paths;
+
+  // Second-order reflections: mirror tx across wall i, then that image
+  // across wall j; unfold back to front.
+  for (const geom::Wall& wi : env.walls()) {
+    const geom::Vec2 image1 = geom::mirror(tx, wi.seg);
+    for (const geom::Wall& wj : env.walls()) {
+      if (&wi == &wj) continue;
+      const geom::Vec2 image2 = geom::mirror(image1, wj.seg);
+      const auto hit2 = geom::intersect({image2, rx}, wj.seg);
+      if (!hit2) continue;
+      const auto hit1 = geom::intersect({image1, *hit2}, wi.seg);
+      if (!hit1) continue;
+      if (!leg_clear(env, tx, *hit1, &wi, nullptr)) continue;
+      if (!leg_clear(env, *hit1, *hit2, &wi, &wj)) continue;
+      if (!leg_clear(env, *hit2, rx, &wj, nullptr)) continue;
+      Path p;
+      p.aod_deg = (*hit1 - tx).angle_deg();
+      p.aoa_deg = (*hit2 - rx).angle_deg();
+      p.length_m = geom::distance(tx, *hit1) + geom::distance(*hit1, *hit2) +
+                   geom::distance(*hit2, rx);
+      p.reflection_loss_db = wi.reflection_loss_db + wj.reflection_loss_db;
+      p.bounces = 2;
+      p.points = {tx, *hit1, *hit2, rx};
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+}  // namespace libra::channel

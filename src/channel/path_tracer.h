@@ -1,0 +1,45 @@
+// Image-method ray tracer for sparse 60 GHz indoor channels.
+//
+// Finds the LOS path plus first- and second-order specular reflections
+// between Tx and Rx. mmWave channels are sparse (Sec. 6.1: PDP similarity is
+// always > 0.65 because there are few significant paths), so a handful of
+// specular components is an accurate model.
+#pragma once
+
+#include <vector>
+
+#include "env/environment.h"
+#include "geom/geometry.h"
+
+namespace libra::channel {
+
+struct Path {
+  // World-frame angle of departure at the Tx and of arrival at the Rx
+  // (direction the Rx must look toward to receive this path).
+  double aod_deg = 0.0;
+  double aoa_deg = 0.0;
+  double length_m = 0.0;
+  double reflection_loss_db = 0.0;  // sum of per-bounce material losses
+  int bounces = 0;
+  // Polyline Tx -> (reflection points) -> Rx; used for blockage evaluation.
+  std::vector<geom::Vec2> points;
+};
+
+class PathTracer {
+ public:
+  explicit PathTracer(int max_bounces = 2) : max_bounces_(max_bounces) {}
+
+  // All valid specular paths from tx to rx in env. Walls both reflect and
+  // obstruct; human blockers do NOT remove paths (they attenuate them --
+  // evaluated later, because blockers move between states).
+  std::vector<Path> trace(const env::Environment& env, geom::Vec2 tx,
+                          geom::Vec2 rx) const;
+
+ private:
+  bool leg_clear(const env::Environment& env, geom::Vec2 a, geom::Vec2 b,
+                 const geom::Wall* skip1, const geom::Wall* skip2) const;
+
+  int max_bounces_;
+};
+
+}  // namespace libra::channel

@@ -1,0 +1,69 @@
+#include "core/classifier.h"
+
+#include <stdexcept>
+
+namespace libra::core {
+
+LibraClassifier::LibraClassifier(LibraClassifierConfig cfg)
+    : cfg_(cfg), forest_(cfg.forest) {}
+
+ml::Label LibraClassifier::to_label(trace::Action a) {
+  switch (a) {
+    case trace::Action::kBA: return 0;
+    case trace::Action::kRA: return 1;
+    case trace::Action::kNA: return 2;
+  }
+  return 0;
+}
+
+trace::Action LibraClassifier::to_action(ml::Label l) {
+  switch (l) {
+    case 0: return trace::Action::kBA;
+    case 1: return trace::Action::kRA;
+    default: return trace::Action::kNA;
+  }
+}
+
+void LibraClassifier::train(const trace::Dataset& dataset,
+                            const trace::GroundTruthConfig& gt,
+                            util::Rng& rng) {
+  ml::DataSet train(trace::FeatureVector::kDim);
+  for (const trace::LabeledEntry& e : dataset.labeled3(gt)) {
+    train.add(e.x.v, to_label(e.y));
+  }
+  if (train.empty()) throw std::invalid_argument("empty training dataset");
+  forest_.fit(train, rng);
+  trained_ = true;
+}
+
+trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
+                                        util::Rng& rng) const {
+  if (!trained_) throw std::logic_error("classifier not trained");
+  trace::FeatureVector noisy = features;
+  noisy.v[0] += rng.gaussian(0.0, cfg_.window_snr_jitter_db);
+  noisy.v[2] += rng.gaussian(0.0, cfg_.window_noise_jitter_db);
+  noisy.v[5] += rng.gaussian(0.0, cfg_.window_cdr_jitter);
+  if (cfg_.min_confidence <= 0.0) {
+    return to_action(forest_.predict(noisy.v));
+  }
+  const std::vector<double> votes = forest_.vote_fractions(noisy.v);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  const trace::Action a = to_action(static_cast<ml::Label>(best));
+  if (a != trace::Action::kNA && votes[best] < cfg_.min_confidence) {
+    return trace::Action::kNA;  // not sure enough to pay for adaptation
+  }
+  return a;
+}
+
+trace::Action LibraClassifier::no_ack_action(phy::McsIndex current_mcs,
+                                             double ba_overhead_ms) const {
+  if (current_mcs < cfg_.no_ack_mcs_threshold) return trace::Action::kBA;
+  return ba_overhead_ms <= cfg_.no_ack_ba_overhead_threshold_ms
+             ? trace::Action::kBA
+             : trace::Action::kRA;
+}
+
+}  // namespace libra::core

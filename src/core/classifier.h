@@ -1,0 +1,66 @@
+// LiBRA's learned decision core (Sec. 7).
+//
+// A 3-class random forest (BA / RA / No-Adaptation) trained offline on
+// labeled PHY-metric deltas decides, every other frame, whether adaptation
+// is needed and which mechanism to trigger. When the Block ACK is missing
+// the Tx has no fresh PHY metrics, so a rule distilled from the training
+// data applies instead: with the current MCS below 6 BA is the right choice
+// 92% of the time, so trigger BA; at MCS >= 6 the classes are balanced, so
+// the choice follows the BA overhead (BA first when it is cheap).
+#pragma once
+
+#include <memory>
+
+#include "ml/random_forest.h"
+#include "trace/dataset.h"
+
+namespace libra::core {
+
+struct LibraClassifierConfig {
+  ml::RandomForestConfig forest{};
+  // Missing-ACK rule (Sec. 7, issue 3).
+  phy::McsIndex no_ack_mcs_threshold = 6;
+  double no_ack_ba_overhead_threshold_ms = 10.0;
+  // Observation-window feature noise: LiBRA decides on 40 ms windows, which
+  // are noisier than the 1 s training traces (Sec. 7, issue 2). Sigmas are
+  // the per-frame jitters scaled by 1/sqrt(window frames).
+  double window_snr_jitter_db = 0.28;
+  double window_noise_jitter_db = 1.06;
+  double window_cdr_jitter = 0.011;
+  // Confidence gate: adaptation (BA/RA) verdicts with a vote fraction below
+  // this are demoted to No-Adaptation -- a misprediction costs a sweep or a
+  // rate search, doing nothing costs one more observation window. 0
+  // disables the gate (the paper's plain arg-max behavior).
+  double min_confidence = 0.0;
+};
+
+class LibraClassifier {
+ public:
+  explicit LibraClassifier(LibraClassifierConfig cfg = {});
+
+  // Train the 3-class model on the (augmented) training dataset.
+  void train(const trace::Dataset& dataset, const trace::GroundTruthConfig& gt,
+             util::Rng& rng);
+
+  // Classify an observation-window feature vector (BA / RA / NA). Window
+  // noise is added internally to model the short observation window.
+  trace::Action classify(const trace::FeatureVector& features,
+                         util::Rng& rng) const;
+
+  // The missing-ACK fallback rule.
+  trace::Action no_ack_action(phy::McsIndex current_mcs,
+                              double ba_overhead_ms) const;
+
+  bool trained() const { return trained_; }
+  const ml::RandomForest& forest() const { return forest_; }
+
+  static ml::Label to_label(trace::Action a);
+  static trace::Action to_action(ml::Label l);
+
+ private:
+  LibraClassifierConfig cfg_;
+  ml::RandomForest forest_;
+  bool trained_ = false;
+};
+
+}  // namespace libra::core

@@ -1,0 +1,254 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace libra::core {
+
+LinkController::LinkController(channel::Link* link,
+                               const phy::ErrorModel* error_model,
+                               ControllerConfig cfg)
+    : link_(link),
+      error_model_(error_model),
+      cfg_(cfg),
+      sampler_(error_model),
+      ack_model_(error_model, cfg.ack),
+      up_prober_(0, cfg.up_prober) {
+  if (!link_ || !error_model_) throw std::invalid_argument("null dependency");
+}
+
+bool LinkController::is_working(double cdr, double tput_mbps) const {
+  return cdr > cfg_.min_cdr && tput_mbps > cfg_.min_tput_mbps;
+}
+
+void LinkController::run_ba(util::Rng& rng) {
+  const mac::SweepResult sweep = trainer_.exhaustive(*link_, sampler_, rng);
+  tx_beam_ = sweep.tx_beam;
+  rx_beam_ = sweep.rx_beam;
+  t_ms_ += cfg_.ba_overhead_ms;
+}
+
+void LinkController::begin_ra_walk() {
+  walking_ = true;
+  walk_best_mcs_ = -1;
+  walk_best_tput_ = -1.0;
+  // The repair starts fresh: stale loss history must not re-trigger before
+  // the walk has had a chance to work.
+  ack_loss_ewma_ = 0.0;
+}
+
+void LinkController::start(util::Rng& rng) {
+  run_ba(rng);
+  // Find the best working MCS with a quick downward walk from the top.
+  const int top = error_model_->table().max_mcs();
+  mcs_ = top;
+  double best_tput = -1.0;
+  phy::McsIndex best = 0;
+  for (phy::McsIndex m = top; m >= 0; --m) {
+    const phy::PhyObservation obs =
+        sampler_.observe(*link_, tx_beam_, rx_beam_, m, rng);
+    if (is_working(obs.cdr, obs.throughput_mbps) &&
+        obs.throughput_mbps > best_tput) {
+      best_tput = obs.throughput_mbps;
+      best = m;
+    }
+    if (best_tput > 0 && obs.throughput_mbps < best_tput) break;
+  }
+  mcs_ = best;
+  up_prober_.reset(mcs_);
+  const phy::PhyObservation obs =
+      sampler_.observe(*link_, tx_beam_, rx_beam_, mcs_, rng);
+  rebaseline(obs);
+}
+
+void LinkController::rebaseline(const phy::PhyObservation& obs) {
+  baseline_ = obs;
+}
+
+trace::FeatureVector LinkController::features_against_baseline(
+    const phy::PhyObservation& obs) const {
+  trace::FeatureVector f;
+  if (!baseline_) return f;
+  f.v[0] = baseline_->snr_db - obs.snr_db;
+  if (baseline_->tof_ns && obs.tof_ns) {
+    f.v[1] = *baseline_->tof_ns - *obs.tof_ns;
+  } else {
+    f.v[1] = trace::kTofInfinity;
+  }
+  f.v[2] = obs.noise_dbm - baseline_->noise_dbm;
+  f.v[3] = trace::aligned_pdp_similarity(baseline_->pdp, obs.pdp);
+  f.v[4] = util::pearson(baseline_->csi, obs.csi);
+  f.v[5] = obs.cdr;
+  f.v[6] = static_cast<double>(mcs_);
+  return f;
+}
+
+FrameReport LinkController::step(util::Rng& rng) {
+  FrameReport report;
+  report.t_ms = t_ms_;
+  report.tx_beam = tx_beam_;
+  report.rx_beam = rx_beam_;
+
+  // Choose this frame's MCS: walking probes downward; otherwise the upward
+  // prober may spend the frame probing one MCS higher.
+  phy::McsIndex frame_mcs = mcs_;
+  // Window-averaged observation (what the classifier and the settle logic
+  // consume).
+  const phy::PhyObservation obs =
+      sampler_.observe(*link_, tx_beam_, rx_beam_, frame_mcs, rng);
+
+  // This specific frame either collides with an interference burst or not;
+  // its ACK and goodput follow the instantaneous SINR, not the average.
+  const double duty =
+      link_->interferer() ? link_->interferer()->duty_cycle : 0.0;
+  const bool jammed = duty > 0.0 && rng.bernoulli(duty);
+  const double frame_snr = jammed
+                               ? link_->snr_db(tx_beam_, rx_beam_)
+                               : link_->snr_clean_db(tx_beam_, rx_beam_);
+
+  report.mcs = frame_mcs;
+  report.ack = ack_model_.ack_received(frame_mcs, frame_snr, rng);
+  report.goodput_mbps =
+      report.ack ? error_model_->expected_throughput_mbps(frame_mcs, frame_snr)
+                 : 0.0;
+  report.duration_ms = cfg_.fat_ms;
+  t_ms_ += cfg_.fat_ms;
+  ack_loss_ewma_ = (1.0 - cfg_.ack_loss_ewma_weight) * ack_loss_ewma_ +
+                   cfg_.ack_loss_ewma_weight * (report.ack ? 0.0 : 1.0);
+
+  if (walking_) {
+    // Evaluate the probe we just sent.
+    if (is_working(obs.cdr, obs.throughput_mbps) &&
+        obs.throughput_mbps > walk_best_tput_) {
+      walk_best_tput_ = obs.throughput_mbps;
+      walk_best_mcs_ = frame_mcs;
+    }
+    const bool passed_peak =
+        walk_best_mcs_ >= 0 && obs.throughput_mbps < walk_best_tput_;
+    if (passed_peak || mcs_ == 0) {
+      walking_ = false;
+      if (walk_best_mcs_ >= 0) {
+        mcs_ = walk_best_mcs_;
+        up_prober_.reset(mcs_);
+        rebaseline(sampler_.observe(*link_, tx_beam_, rx_beam_, mcs_, rng));
+        walked_through_ba_ = false;
+      } else if (!walked_through_ba_) {
+        // Nothing works on this pair: BA, then a second walk (Algorithm 1).
+        run_ba(rng);
+        walked_through_ba_ = true;
+        mcs_ = error_model_->table().max_mcs();
+        begin_ra_walk();
+      } else {
+        // Both walks failed: camp on MCS 0 and keep trying.
+        walked_through_ba_ = false;
+        mcs_ = 0;
+        up_prober_.reset(0);
+      }
+    } else {
+      --mcs_;  // next probe one MCS lower
+    }
+    return report;
+  }
+
+  // Steady state: ask the policy.
+  const trace::Action action = decide(report, obs, rng);
+  report.action = action;
+  switch (action) {
+    case trace::Action::kBA:
+      run_ba(rng);
+      begin_ra_walk();
+      break;
+    case trace::Action::kRA:
+      begin_ra_walk();
+      break;
+    case trace::Action::kNA: {
+      // Upward probing (shared by all policies, Sec. 8.1). To keep one
+      // observation per frame, the prober's verdict applies to the next
+      // frame's MCS.
+      trace::PairTrace view;
+      view.throughput_mbps.assign(
+          static_cast<std::size_t>(error_model_->table().size()), 0.0);
+      view.cdr.assign(view.throughput_mbps.size(), 0.0);
+      // Fill only the two entries the prober inspects, from live estimates.
+      const auto cur = static_cast<std::size_t>(mcs_);
+      view.cdr[cur] = obs.cdr;
+      view.throughput_mbps[cur] = obs.throughput_mbps;
+      if (mcs_ < error_model_->table().max_mcs()) {
+        const phy::PhyObservation up = sampler_.observe(
+            *link_, tx_beam_, rx_beam_, mcs_ + 1, rng);
+        view.cdr[cur + 1] = up.cdr;
+        view.throughput_mbps[cur + 1] = up.throughput_mbps;
+      }
+      trace::GroundTruthConfig rule;
+      rule.min_tput_mbps = cfg_.min_tput_mbps;
+      rule.min_cdr = cfg_.min_cdr;
+      up_prober_.on_frame(view, rule);
+      mcs_ = up_prober_.current();
+      break;
+    }
+  }
+  return report;
+}
+
+// ---------- LiBRA ----------
+
+LibraController::LibraController(channel::Link* link,
+                                 const phy::ErrorModel* error_model,
+                                 const LibraClassifier* classifier,
+                                 ControllerConfig cfg)
+    : LinkController(link, error_model, cfg), classifier_(classifier) {
+  if (!classifier_) throw std::invalid_argument("null classifier");
+}
+
+trace::Action LibraController::decide(const FrameReport& frame,
+                                      const phy::PhyObservation& obs,
+                                      util::Rng& rng) {
+  (void)frame;
+  if (persistent_ack_loss()) {
+    // Missing ACKs: no fresh PHY metrics, the distilled rule fires.
+    holdoff_frames_ = cfg_.post_adapt_holdoff_frames;
+    return classifier_->no_ack_action(mcs_, cfg_.ba_overhead_ms);
+  }
+  if (holdoff_frames_ > 0) {
+    --holdoff_frames_;
+    return trace::Action::kNA;
+  }
+  if (++frames_since_decision_ < cfg_.decision_period_frames) {
+    return trace::Action::kNA;
+  }
+  frames_since_decision_ = 0;
+  const trace::Action a =
+      classifier_->classify(features_against_baseline(obs), rng);
+  if (a != trace::Action::kNA) {
+    holdoff_frames_ = cfg_.post_adapt_holdoff_frames;
+  }
+  return a;
+}
+
+// ---------- heuristics ----------
+
+trace::Action RaFirstController::decide(const FrameReport& frame,
+                                        const phy::PhyObservation& obs,
+                                        util::Rng&) {
+  (void)frame;
+  // Trigger when the current MCS stops being a working MCS (Sec. 8.1);
+  // Algorithm: RA first, BA happens automatically if the walk fails.
+  if (persistent_ack_loss() || !is_working(obs.cdr, obs.throughput_mbps)) {
+    return trace::Action::kRA;
+  }
+  return trace::Action::kNA;
+}
+
+trace::Action BaFirstController::decide(const FrameReport& frame,
+                                        const phy::PhyObservation& obs,
+                                        util::Rng&) {
+  (void)frame;
+  if (persistent_ack_loss() || !is_working(obs.cdr, obs.throughput_mbps)) {
+    return trace::Action::kBA;
+  }
+  return trace::Action::kNA;
+}
+
+}  // namespace libra::core

@@ -1,0 +1,163 @@
+// Live link-adaptation controllers: Algorithm 1 executed against a live
+// channel, frame by frame -- the form a chipset vendor would actually ship,
+// as opposed to the trace-replay evaluation of Sec. 8.
+//
+// A controller owns the Tx-side adaptation state of one link: the current
+// beam pair and MCS, the observation-window metric tracker, and the upward
+// probing machinery. Each step() transmits one aggregated frame, observes
+// the PHY feedback that would ride back on the Block ACK (Sec. 7, issue 3:
+// Tx-initiated, metrics via ACKs + channel reciprocity), and runs the
+// adaptation decision:
+//
+//   LibraController    - Algorithm 1: 3-class classifier every other frame,
+//                        missing-ACK rule otherwise.
+//   RaFirstController  - COTS heuristic: RA on missing ACK, BA only when
+//                        MCS 0 fails.
+//   BaFirstController  - the patent heuristic [14]: BA first on missing
+//                        ACK, then RA.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/classifier.h"
+#include "core/rate_adaptation.h"
+#include "mac/ack.h"
+#include "mac/beam_training.h"
+#include "phy/sampler.h"
+#include "trace/features.h"
+
+namespace libra::core {
+
+struct ControllerConfig {
+  double fat_ms = 10.0;            // one aggregated frame per step
+  double ba_overhead_ms = 5.0;     // charged per sector sweep
+  int decision_period_frames = 2;  // LiBRA decides every other frame
+  double min_tput_mbps = 150.0;    // working-MCS rule (Sec. 5.2)
+  double min_cdr = 0.10;
+  // Adaptation fires on *persistent* Block-ACK loss, tracked as an EWMA of
+  // the per-frame loss indicator: isolated misses (one interference burst,
+  // one deep fade) are retried, a dead link crosses the threshold within a
+  // handful of frames. With weight 0.3, a full outage crosses 0.9 after
+  // ~7 frames while a 50%-duty jammer saturates at 0.5 and never triggers.
+  double ack_loss_ewma_weight = 0.3;
+  double ack_loss_trigger = 0.9;
+  // Hysteresis: after an adaptation, classifier decisions are suppressed
+  // for this many frames (persistent ACK loss still reacts). Prevents
+  // observation-window noise from re-triggering on the state the link just
+  // settled into.
+  int post_adapt_holdoff_frames = 10;
+  UpProberConfig up_prober{};
+  mac::AckModelConfig ack{};
+};
+
+// What one transmitted frame produced.
+struct FrameReport {
+  double t_ms = 0.0;               // start of this frame
+  double duration_ms = 0.0;        // fat_ms, plus sweep time if BA ran
+  array::BeamId tx_beam = 0;
+  array::BeamId rx_beam = 0;
+  phy::McsIndex mcs = 0;
+  double goodput_mbps = 0.0;       // MAC throughput achieved this frame
+  bool ack = true;
+  trace::Action action = trace::Action::kNA;  // adaptation fired this frame
+};
+
+// Shared mechanics: beam state, per-frame transmission, the live downward
+// RA walk and the upward prober. Subclasses implement the trigger policy.
+class LinkController {
+ public:
+  LinkController(channel::Link* link, const phy::ErrorModel* error_model,
+                 ControllerConfig cfg);
+  virtual ~LinkController() = default;
+
+  // Initial association: full beam training + best working MCS.
+  void start(util::Rng& rng);
+
+  // Transmit one frame and adapt. Advances internal time.
+  FrameReport step(util::Rng& rng);
+
+  double time_ms() const { return t_ms_; }
+  array::BeamId tx_beam() const { return tx_beam_; }
+  array::BeamId rx_beam() const { return rx_beam_; }
+  phy::McsIndex mcs() const { return mcs_; }
+
+ protected:
+  // Decide after a frame: which adaptation (if any) to run next.
+  virtual trace::Action decide(const FrameReport& frame,
+                               const phy::PhyObservation& obs,
+                               util::Rng& rng) = 0;
+
+  // Run beam adaptation now: exhaustive sweep, charge the overhead.
+  void run_ba(util::Rng& rng);
+  // Enter the downward RA walk starting at the current MCS.
+  void begin_ra_walk();
+
+  bool is_working(double cdr, double tput_mbps) const;
+  // Snapshot the current observation as the reference "initial state" the
+  // feature deltas are computed against.
+  void rebaseline(const phy::PhyObservation& obs);
+  trace::FeatureVector features_against_baseline(
+      const phy::PhyObservation& obs) const;
+
+  channel::Link* link_;                 // non-owning
+  const phy::ErrorModel* error_model_;  // non-owning
+  ControllerConfig cfg_;
+  phy::PhySampler sampler_;
+  mac::AckModel ack_model_;
+  mac::BeamTrainer trainer_;
+
+  array::BeamId tx_beam_ = 0;
+  array::BeamId rx_beam_ = 0;
+  phy::McsIndex mcs_ = 0;
+  double t_ms_ = 0.0;
+
+  // RA repair walk state (active while walking down).
+  bool walking_ = false;
+  phy::McsIndex walk_best_mcs_ = -1;
+  double walk_best_tput_ = -1.0;
+  bool walked_through_ba_ = false;  // second walk after a fallback BA
+
+  UpProber up_prober_;
+  std::optional<phy::PhyObservation> baseline_;
+  double ack_loss_ewma_ = 0.0;
+
+  bool persistent_ack_loss() const {
+    return ack_loss_ewma_ >= cfg_.ack_loss_trigger;
+  }
+};
+
+class LibraController : public LinkController {
+ public:
+  LibraController(channel::Link* link, const phy::ErrorModel* error_model,
+                  const LibraClassifier* classifier, ControllerConfig cfg = {});
+
+ protected:
+  trace::Action decide(const FrameReport& frame,
+                       const phy::PhyObservation& obs, util::Rng& rng) override;
+
+ private:
+  const LibraClassifier* classifier_;  // non-owning
+  int frames_since_decision_ = 0;
+  int holdoff_frames_ = 0;
+};
+
+class RaFirstController : public LinkController {
+ public:
+  using LinkController::LinkController;
+
+ protected:
+  trace::Action decide(const FrameReport& frame,
+                       const phy::PhyObservation& obs, util::Rng& rng) override;
+};
+
+class BaFirstController : public LinkController {
+ public:
+  using LinkController::LinkController;
+
+ protected:
+  trace::Action decide(const FrameReport& frame,
+                       const phy::PhyObservation& obs, util::Rng& rng) override;
+};
+
+}  // namespace libra::core

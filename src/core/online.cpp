@@ -1,0 +1,39 @@
+#include "core/online.h"
+
+namespace libra::core {
+
+OnlineLibra::OnlineLibra(OnlineLibraConfig cfg)
+    : cfg_(cfg), classifier_(cfg.classifier) {}
+
+void OnlineLibra::seed(const trace::Dataset& offline,
+                       const trace::GroundTruthConfig& gt, util::Rng& rng) {
+  seed_ = offline;
+  classifier_.train(seed_, gt, rng);
+}
+
+void OnlineLibra::observe(const trace::CaseRecord& record,
+                          const trace::GroundTruthConfig& gt,
+                          util::Rng& rng) {
+  window_.push_back(record);
+  while (static_cast<int>(window_.size()) > cfg_.window_size) {
+    window_.pop_front();
+  }
+  ++observed_;
+  if (++since_retrain_ >= cfg_.retrain_every) {
+    since_retrain_ = 0;
+    retrain(gt, rng);
+  }
+}
+
+void OnlineLibra::retrain(const trace::GroundTruthConfig& gt, util::Rng& rng) {
+  trace::Dataset combined = seed_;
+  for (const trace::CaseRecord& rec : window_) {
+    for (int w = 0; w < cfg_.local_weight; ++w) {
+      (rec.forced_na ? combined.na_records : combined.records).push_back(rec);
+    }
+  }
+  classifier_.train(combined, gt, rng);
+  ++retrains_;
+}
+
+}  // namespace libra::core

@@ -1,0 +1,17 @@
+#include "core/strategy.h"
+
+namespace libra::core {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kRaFirst: return "RA First";
+    case Strategy::kBaFirst: return "BA First";
+    case Strategy::kLibra: return "LiBRA";
+    case Strategy::kOracleData: return "Oracle-Data";
+    case Strategy::kOracleDelay: return "Oracle-Delay";
+    case Strategy::kBeamSounding: return "Beam Sounding";
+  }
+  return "?";
+}
+
+}  // namespace libra::core

@@ -1,0 +1,41 @@
+// The five link-adaptation strategies compared in Sec. 8:
+//
+//   kRaFirst     - what COTS devices do: on a broken MCS, rate-adapt first,
+//                  beam-train only if no MCS works.
+//   kBaFirst     - the patent approach [14]: beam-train first, then RA.
+//   kLibra       - this paper: the 3-class classifier picks BA / RA / NA
+//                  every other frame; the missing-ACK rule covers frames
+//                  with no PHY feedback.
+//   kOracleData  - always picks the mechanism that maximizes bytes
+//                  delivered over the flow.
+//   kOracleDelay - always picks the mechanism that minimizes the link
+//                  recovery delay.
+//   kBeamSounding - MOCA-style failover ([24], discussed in Sec. 8): keep a
+//                  pre-sounded angularly-diverse backup pair and hop to it
+//                  instantly on failure, falling back to a full sweep only
+//                  if the backup is also dead. The paper argues (via [9])
+//                  that failover pairs stop working under angular
+//                  displacement -- bench/beam_sounding quantifies it.
+#pragma once
+
+#include <string>
+
+namespace libra::core {
+
+enum class Strategy {
+  kRaFirst,
+  kBaFirst,
+  kLibra,
+  kOracleData,
+  kOracleDelay,
+  kBeamSounding,
+};
+
+std::string to_string(Strategy s);
+
+// The five algorithms of the paper's evaluation (Sec. 8.1).
+inline constexpr Strategy kAllStrategies[] = {
+    Strategy::kBaFirst, Strategy::kRaFirst, Strategy::kLibra,
+    Strategy::kOracleData, Strategy::kOracleDelay};
+
+}  // namespace libra::core

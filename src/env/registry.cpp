@@ -1,0 +1,99 @@
+#include "env/registry.h"
+
+namespace libra::env {
+namespace {
+
+// Material reflection losses (dB per bounce) at 60 GHz.
+constexpr double kMetal = 4.0;
+constexpr double kGlassMetalPanel = 5.0;
+constexpr double kWhiteboard = 6.0;
+constexpr double kDrywall = 8.0;
+constexpr double kOldBrick = 12.0;
+
+geom::Wall wall(geom::Vec2 a, geom::Vec2 b, double loss, std::string name) {
+  return geom::Wall{{a, b}, loss, std::move(name)};
+}
+
+}  // namespace
+
+std::vector<geom::Wall> rectangle_walls(double w, double h, double loss_s,
+                                        double loss_e, double loss_n,
+                                        double loss_w) {
+  return {
+      wall({0, 0}, {w, 0}, loss_s, "south"),
+      wall({w, 0}, {w, h}, loss_e, "east"),
+      wall({w, h}, {0, h}, loss_n, "north"),
+      wall({0, h}, {0, 0}, loss_w, "west"),
+  };
+}
+
+Environment make_lobby() {
+  // 24 x 12 m open space. North side: glass panels over metallic sheets
+  // (Fig. 14a) -> strong reflector. South side: drywall. Two pillars.
+  auto walls = rectangle_walls(24.0, 12.0, kDrywall, kDrywall,
+                               kGlassMetalPanel, kDrywall);
+  walls.push_back(wall({8.0, 5.5}, {8.6, 5.5}, kMetal, "pillar1"));
+  walls.push_back(wall({16.0, 5.5}, {16.6, 5.5}, kMetal, "pillar2"));
+  return Environment("lobby", std::move(walls));
+}
+
+Environment make_lab() {
+  // 11.8 x 9.2 m; metallic storage cabinets line the east wall and
+  // whiteboards the north wall; rows of desks create weak scatterers that we
+  // fold into slightly lossier side walls.
+  auto walls = rectangle_walls(11.8, 9.2, kDrywall, kMetal, kWhiteboard,
+                               kDrywall);
+  // A row of metallic cabinets partway into the room.
+  walls.push_back(wall({2.0, 6.4}, {9.0, 6.4}, kMetal, "cabinets"));
+  return Environment("lab", std::move(walls));
+}
+
+Environment make_conference_room() {
+  // 10.4 x 6.8 m; whiteboard covers the west wall (Fig. 14c), metallic
+  // cabinets on the east wall; a large central desk blocks low paths but not
+  // the antenna height, so it is not modeled as an obstacle.
+  auto walls = rectangle_walls(10.4, 6.8, kDrywall, kMetal, kDrywall,
+                               kWhiteboard);
+  return Environment("conference_room", std::move(walls));
+}
+
+Environment make_corridor(double width_m) {
+  auto walls =
+      rectangle_walls(30.0, width_m, kDrywall, kDrywall, kDrywall, kDrywall);
+  return Environment("corridor_" + std::to_string(width_m).substr(0, 4),
+                     std::move(walls));
+}
+
+Environment make_building1_corridor() {
+  // Old building: different wall material, fewer reflective surfaces
+  // (Sec. 6.2 "Accuracy with a different dataset").
+  auto walls =
+      rectangle_walls(35.0, 2.5, kOldBrick, kOldBrick, kOldBrick, kOldBrick);
+  return Environment("building1_corridor", std::move(walls));
+}
+
+Environment make_building2_open_area() {
+  auto walls = rectangle_walls(32.0, 18.0, kDrywall, kGlassMetalPanel,
+                               kDrywall, kDrywall);
+  return Environment("building2_open_area", std::move(walls));
+}
+
+std::vector<Environment> training_environments() {
+  std::vector<Environment> envs;
+  envs.push_back(make_lobby());
+  envs.push_back(make_lab());
+  envs.push_back(make_conference_room());
+  envs.push_back(make_corridor(1.74));
+  envs.push_back(make_corridor(3.2));
+  envs.push_back(make_corridor(6.2));
+  return envs;
+}
+
+std::vector<Environment> testing_environments() {
+  std::vector<Environment> envs;
+  envs.push_back(make_building1_corridor());
+  envs.push_back(make_building2_open_area());
+  return envs;
+}
+
+}  // namespace libra::env

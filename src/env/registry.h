@@ -1,0 +1,54 @@
+// Concrete environments from the paper (Fig. 14, Appendix A.2.1):
+//
+//   Main (training) building: lobby, lab, conference room, three corridors
+//   of width 1.74 m, 3.2 m and 6.2 m.
+//   Testing buildings: Building 1 (old, 2.5 m corridor, weakly reflective
+//   walls), Building 2 (wide open area, larger than the lobby).
+//
+// Wall materials set the per-bounce reflection loss, which controls how
+// useful NLOS (reflected) paths are -- the key environment property for the
+// BA-vs-RA ground truth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+
+namespace libra::env {
+
+// Rectangular room helper: four walls with the given losses
+// (order: south, east, north, west), origin at (0,0), size (w,h).
+std::vector<geom::Wall> rectangle_walls(double w, double h,
+                                        double loss_s, double loss_e,
+                                        double loss_n, double loss_w);
+
+// Large open space; one side glass+metal panels (strong reflector), the
+// other a drywall. ~24 x 12 m.
+Environment make_lobby();
+
+// 11.8 x 9.2 m lab with rows of desks and metallic storage cabinets
+// (strong reflectors) along the walls.
+Environment make_lab();
+
+// 10.4 x 6.8 m conference room, one wall covered by a whiteboard
+// (strong reflector), metallic cabinets, central table.
+Environment make_conference_room();
+
+// A straight corridor of the given width; length 30 m. Drywall sides.
+Environment make_corridor(double width_m);
+
+// Testing Building 1: long 2.5 m corridor, old construction, lossy walls
+// (fewer reflective surfaces -> reflections are ~6 dB weaker).
+Environment make_building1_corridor();
+
+// Testing Building 2: wide open area, much larger than the lobby.
+Environment make_building2_open_area();
+
+// The six training environments, in Table-1 order.
+std::vector<Environment> training_environments();
+// The two testing environments (Table 2).
+std::vector<Environment> testing_environments();
+
+}  // namespace libra::env

@@ -1,0 +1,58 @@
+#include "geom/geometry.h"
+
+#include <algorithm>
+
+namespace libra::geom {
+
+double wrap_angle_deg(double deg) {
+  while (deg > 180.0) deg -= 360.0;
+  while (deg <= -180.0) deg += 360.0;
+  return deg;
+}
+
+std::optional<Vec2> intersect(const Segment& s1, const Segment& s2) {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  constexpr double kEps = 1e-9;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  return s1.a + r * t;
+}
+
+bool segments_cross(const Segment& s1, const Segment& s2) {
+  // Strict interior crossing: exclude shared endpoints so a reflected ray
+  // leaving a wall is not counted as blocked by that wall.
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-12) return false;
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  constexpr double kEps = 1e-9;
+  return t > kEps && t < 1.0 - kEps && u > kEps && u < 1.0 - kEps;
+}
+
+Vec2 mirror(Vec2 p, const Segment& line) {
+  const Vec2 d = line.direction();
+  const Vec2 ap = p - line.a;
+  const double along = ap.dot(d);
+  const Vec2 foot = line.a + d * along;
+  return foot + (foot - p);
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.dot(d);
+  if (len2 <= 0.0) return distance(p, s.a);
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+}  // namespace libra::geom

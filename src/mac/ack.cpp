@@ -1,0 +1,25 @@
+#include "mac/ack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::mac {
+
+AckModel::AckModel(const phy::ErrorModel* error_model, AckModelConfig cfg)
+    : error_model_(error_model), cfg_(cfg) {
+  if (!error_model_) throw std::invalid_argument("null error model");
+  if (cfg_.subframes < 1) throw std::invalid_argument("subframes < 1");
+}
+
+double AckModel::ack_probability(phy::McsIndex mcs, double snr_db) const {
+  const double p_subframe =
+      error_model_->codeword_success_prob(mcs, snr_db);
+  return 1.0 - std::pow(1.0 - p_subframe, cfg_.subframes);
+}
+
+bool AckModel::ack_received(phy::McsIndex mcs, double snr_db,
+                            util::Rng& rng) const {
+  return rng.bernoulli(ack_probability(mcs, snr_db));
+}
+
+}  // namespace libra::mac

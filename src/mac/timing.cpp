@@ -1,0 +1,10 @@
+#include "mac/timing.h"
+
+namespace libra::mac {
+
+double worst_case_delay_ms(int num_mcs, double fat_ms, double ba_overhead_ms) {
+  return static_cast<double>(num_mcs) * fat_ms + ba_overhead_ms +
+         static_cast<double>(num_mcs) * fat_ms;
+}
+
+}  // namespace libra::mac

@@ -1,0 +1,43 @@
+#include "ml/cross_validation.h"
+
+namespace libra::ml {
+
+CvResult cross_validate(const DataSet& data, const ClassifierFactory& factory,
+                        int k, int repeats, util::Rng& rng) {
+  CvResult result;
+  result.folds = k;
+  result.repeats = repeats;
+  double acc_sum = 0.0, f1_sum = 0.0;
+  int n = 0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto splits = stratified_kfold(data, k, rng);
+    for (const FoldSplit& split : splits) {
+      const DataSet train = data.subset(split.train);
+      const DataSet test = data.subset(split.test);
+      auto model = factory();
+      model->fit(train, rng);
+      const std::vector<Label> pred = model->predict_all(test);
+      acc_sum += accuracy(test.labels(), pred);
+      f1_sum += weighted_f1(test.labels(), pred);
+      ++n;
+    }
+  }
+  result.accuracy = acc_sum / n;
+  result.weighted_f1 = f1_sum / n;
+  return result;
+}
+
+CvResult train_test(const DataSet& train, const DataSet& test,
+                    const ClassifierFactory& factory, util::Rng& rng) {
+  CvResult result;
+  result.folds = 1;
+  result.repeats = 1;
+  auto model = factory();
+  model->fit(train, rng);
+  const std::vector<Label> pred = model->predict_all(test);
+  result.accuracy = accuracy(test.labels(), pred);
+  result.weighted_f1 = weighted_f1(test.labels(), pred);
+  return result;
+}
+
+}  // namespace libra::ml

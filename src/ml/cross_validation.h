@@ -1,0 +1,32 @@
+// Stratified k-fold cross validation (Sec. 6.2): the paper runs stratified
+// 5-fold CV, repeated with random splits, and reports average accuracy and
+// weighted F1.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "ml/data.h"
+#include "ml/metrics.h"
+
+namespace libra::ml {
+
+struct CvResult {
+  double accuracy = 0.0;
+  double weighted_f1 = 0.0;
+  int folds = 0;
+  int repeats = 0;
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+// Run `repeats` rounds of stratified k-fold CV with fresh random splits and
+// average the metrics across all folds of all rounds.
+CvResult cross_validate(const DataSet& data, const ClassifierFactory& factory,
+                        int k, int repeats, util::Rng& rng);
+
+// Train on one set, evaluate on another (the cross-building experiment).
+CvResult train_test(const DataSet& train, const DataSet& test,
+                    const ClassifierFactory& factory, util::Rng& rng);
+
+}  // namespace libra::ml

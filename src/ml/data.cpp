@@ -1,0 +1,108 @@
+#include "ml/data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace libra::ml {
+
+void DataSet::add(std::span<const double> features, Label label) {
+  if (num_features_ == 0) num_features_ = features.size();
+  if (features.size() != num_features_) {
+    throw std::invalid_argument("inconsistent feature dimension");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+int DataSet::num_classes() const {
+  int max_label = -1;
+  for (Label l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+DataSet DataSet::subset(std::span<const std::size_t> indices) const {
+  DataSet out(num_features_);
+  for (std::size_t i : indices) out.add(row(i), label(i));
+  return out;
+}
+
+void Standardizer::fit(const DataSet& train) {
+  const std::size_t d = train.num_features();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  if (train.empty()) return;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto row = train.row(i);
+    for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto row = train.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - mean_[j];
+      std_[j] += delta * delta;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(train.size()));
+    if (s < 1e-12) s = 1.0;  // constant feature: leave centered only
+  }
+}
+
+std::vector<double> Standardizer::transform_row(
+    std::span<const double> row) const {
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+DataSet Standardizer::transform(const DataSet& data) const {
+  DataSet out(data.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform_row(data.row(i)), data.label(i));
+  }
+  return out;
+}
+
+std::vector<FoldSplit> stratified_kfold(const DataSet& data, int k,
+                                        util::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("k must be >= 2");
+  // Group indices per class, shuffle within each class, then deal them
+  // round-robin into folds so every fold keeps the class proportions.
+  std::map<Label, std::vector<std::size_t>> per_class;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    per_class[data.label(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> folds(static_cast<std::size_t>(k));
+  for (auto& [label, indices] : per_class) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      folds[i % static_cast<std::size_t>(k)].push_back(indices[i]);
+    }
+  }
+  std::vector<FoldSplit> splits(static_cast<std::size_t>(k));
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    splits[f].test = folds[f];
+    for (std::size_t g = 0; g < folds.size(); ++g) {
+      if (g == f) continue;
+      splits[f].train.insert(splits[f].train.end(), folds[g].begin(),
+                             folds[g].end());
+    }
+  }
+  return splits;
+}
+
+std::vector<Label> Classifier::predict_all(const DataSet& data) const {
+  std::vector<Label> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data.row(i)));
+  }
+  return out;
+}
+
+}  // namespace libra::ml

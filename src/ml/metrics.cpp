@@ -1,0 +1,65 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace libra::ml {
+
+namespace {
+int max_class(std::span<const Label> a, std::span<const Label> b) {
+  int m = 1;
+  for (Label l : a) m = std::max(m, l);
+  for (Label l : b) m = std::max(m, l);
+  return m + 1;
+}
+}  // namespace
+
+double accuracy(std::span<const Label> truth, std::span<const Label> pred) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("accuracy: size mismatch or empty");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::vector<std::vector<int>> confusion_matrix(std::span<const Label> truth,
+                                               std::span<const Label> pred) {
+  const int k = max_class(truth, pred);
+  std::vector<std::vector<int>> cm(static_cast<std::size_t>(k),
+                                   std::vector<int>(static_cast<std::size_t>(k), 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++cm[static_cast<std::size_t>(truth[i])][static_cast<std::size_t>(pred[i])];
+  }
+  return cm;
+}
+
+double weighted_f1(std::span<const Label> truth, std::span<const Label> pred) {
+  const auto cm = confusion_matrix(truth, pred);
+  const std::size_t k = cm.size();
+  double f1_sum = 0.0;
+  std::size_t total = truth.size();
+  for (std::size_t c = 0; c < k; ++c) {
+    int tp = cm[c][c];
+    int fp = 0, fn = 0, support = 0;
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o != c) {
+        fp += cm[o][c];
+        fn += cm[c][o];
+      }
+      support += cm[c][o];
+    }
+    if (support == 0) continue;
+    const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    const double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    const double f1 = precision + recall > 0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    f1_sum += f1 * static_cast<double>(support) / static_cast<double>(total);
+  }
+  return f1_sum;
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,21 @@
+// Classification metrics (Sec. 6.2): accuracy, weighted F1 score, confusion
+// matrix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/data.h"
+
+namespace libra::ml {
+
+double accuracy(std::span<const Label> truth, std::span<const Label> pred);
+
+// Per-class F1, weighted by class support -- the paper's "weighted F1".
+double weighted_f1(std::span<const Label> truth, std::span<const Label> pred);
+
+// confusion[t][p] = count of samples with true class t predicted as p.
+std::vector<std::vector<int>> confusion_matrix(std::span<const Label> truth,
+                                               std::span<const Label> pred);
+
+}  // namespace libra::ml

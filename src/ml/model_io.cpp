@@ -1,0 +1,112 @@
+#include "ml/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace libra::ml {
+
+namespace {
+constexpr const char* kTreeMagic = "libra-tree-v1";
+constexpr const char* kForestMagic = "libra-forest-v1";
+
+void expect(std::istream& in, const char* token) {
+  std::string got;
+  if (!(in >> got) || got != token) {
+    throw std::runtime_error(std::string("model parse error: expected '") +
+                             token + "', got '" + got + "'");
+  }
+}
+}  // namespace
+
+void save_tree(const DecisionTree& tree, std::ostream& out) {
+  out << kTreeMagic << ' ' << tree.nodes().size() << ' ' << tree.num_classes()
+      << ' ' << tree.feature_importances().size() << '\n';
+  out << std::setprecision(17);
+  for (const DecisionTree::Node& n : tree.nodes()) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right
+        << ' ' << n.label << '\n';
+  }
+  for (double imp : tree.feature_importances()) out << imp << ' ';
+  out << '\n';
+}
+
+DecisionTree load_tree(std::istream& in) {
+  expect(in, kTreeMagic);
+  std::size_t n_nodes = 0, n_features = 0;
+  int num_classes = 0;
+  if (!(in >> n_nodes >> num_classes >> n_features)) {
+    throw std::runtime_error("model parse error: tree header");
+  }
+  std::vector<DecisionTree::Node> nodes(n_nodes);
+  for (auto& n : nodes) {
+    if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.label)) {
+      throw std::runtime_error("model parse error: tree node");
+    }
+    if (n.feature >= 0 &&
+        (n.left < 0 || n.right < 0 ||
+         n.left >= static_cast<int>(n_nodes) ||
+         n.right >= static_cast<int>(n_nodes))) {
+      throw std::runtime_error("model parse error: dangling child index");
+    }
+  }
+  std::vector<double> importances(n_features);
+  for (double& imp : importances) {
+    if (!(in >> imp)) {
+      throw std::runtime_error("model parse error: importances");
+    }
+  }
+  DecisionTree tree;
+  tree.import_model(std::move(nodes), std::move(importances), num_classes);
+  return tree;
+}
+
+void save_forest(const RandomForest& forest, std::ostream& out) {
+  out << kForestMagic << ' ' << forest.trees().size() << ' '
+      << forest.num_classes() << ' ' << forest.feature_importances().size()
+      << '\n';
+  out << std::setprecision(17);
+  for (double imp : forest.feature_importances()) out << imp << ' ';
+  out << '\n';
+  for (const DecisionTree& tree : forest.trees()) save_tree(tree, out);
+}
+
+RandomForest load_forest(std::istream& in) {
+  expect(in, kForestMagic);
+  std::size_t n_trees = 0, n_features = 0;
+  int num_classes = 0;
+  if (!(in >> n_trees >> num_classes >> n_features)) {
+    throw std::runtime_error("model parse error: forest header");
+  }
+  std::vector<double> importances(n_features);
+  for (double& imp : importances) {
+    if (!(in >> imp)) {
+      throw std::runtime_error("model parse error: forest importances");
+    }
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    trees.push_back(load_tree(in));
+  }
+  RandomForest forest;
+  forest.import_model(std::move(trees), std::move(importances), num_classes);
+  return forest;
+}
+
+void save_forest_file(const RandomForest& forest, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_forest(forest, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+RandomForest load_forest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_forest(in);
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,24 @@
+// Model persistence: save a trained decision tree / random forest and load
+// it back -- a deployed LiBRA ships a pre-trained forest in firmware, so the
+// framework must be able to export one (and the CLI's train/eval split
+// depends on it).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace libra::ml {
+
+void save_tree(const DecisionTree& tree, std::ostream& out);
+DecisionTree load_tree(std::istream& in);
+
+void save_forest(const RandomForest& forest, std::ostream& out);
+RandomForest load_forest(std::istream& in);
+
+void save_forest_file(const RandomForest& forest, const std::string& path);
+RandomForest load_forest_file(const std::string& path);
+
+}  // namespace libra::ml

@@ -1,0 +1,76 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace libra::ml {
+
+RandomForest::RandomForest(RandomForestConfig cfg) : cfg_(cfg) {}
+
+void RandomForest::fit(const DataSet& train, util::Rng& rng) {
+  trees_.clear();
+  num_classes_ = std::max(train.num_classes(), 2);
+
+  DecisionTreeConfig tree_cfg = cfg_.tree;
+  if (tree_cfg.max_features == 0) {
+    // sqrt(d) features per split, the standard forest default.
+    tree_cfg.max_features = std::max(
+        1, static_cast<int>(std::round(
+               std::sqrt(static_cast<double>(train.num_features())))));
+  }
+
+  importances_.assign(train.num_features(), 0.0);
+  const auto sample_size = static_cast<std::size_t>(
+      std::max<double>(1.0, cfg_.bootstrap_fraction *
+                                static_cast<double>(train.size())));
+  for (int t = 0; t < cfg_.num_trees; ++t) {
+    std::vector<std::size_t> bootstrap(sample_size);
+    for (std::size_t& idx : bootstrap) {
+      idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(train.size()) - 1));
+    }
+    const DataSet bag = train.subset(bootstrap);
+    DecisionTree tree(tree_cfg);
+    tree.fit(bag, rng);
+    for (std::size_t f = 0; f < importances_.size(); ++f) {
+      importances_[f] += tree.raw_importances()[f];
+    }
+    trees_.push_back(std::move(tree));
+  }
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0) {
+    for (double& imp : importances_) imp /= total;
+  }
+}
+
+void RandomForest::import_model(std::vector<DecisionTree> trees,
+                                std::vector<double> importances,
+                                int num_classes) {
+  trees_ = std::move(trees);
+  importances_ = std::move(importances);
+  num_classes_ = num_classes;
+}
+
+Label RandomForest::predict(std::span<const double> features) const {
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (const DecisionTree& tree : trees_) {
+    ++votes[static_cast<std::size_t>(tree.predict(features))];
+  }
+  return static_cast<Label>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::vector<double> RandomForest::vote_fractions(
+    std::span<const double> features) const {
+  std::vector<double> fractions(static_cast<std::size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return fractions;
+  for (const DecisionTree& tree : trees_) {
+    fractions[static_cast<std::size_t>(tree.predict(features))] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(trees_.size());
+  return fractions;
+}
+
+}  // namespace libra::ml

@@ -1,0 +1,58 @@
+// Codeword-level frame transmission (Sec. 4.1).
+//
+// An X60 frame is 100 slots x 92 CRC-protected codewords. ErrorModel gives
+// the *expected* CDR; this module samples the actual per-codeword outcomes
+// of one frame, yielding the empirical CDR, per-slot delivery counts, the
+// delivered payload bytes, and the Block-ACK outcome -- the level of detail
+// a MAC implementation sees. Sampling uses a per-slot binomial draw (via a
+// normal approximation for the large slot population) plus an optional
+// burst-error overlay for the duty-cycled interferer.
+#pragma once
+
+#include <vector>
+
+#include "channel/link.h"
+#include "mac/timing.h"
+#include "phy/error_model.h"
+#include "util/rng.h"
+
+namespace libra::phy {
+
+struct FrameTxConfig {
+  mac::TdmaConfig tdma{};
+  // Number of MPDUs the Block ACK covers; it is lost only if all fail.
+  int ack_subframes = 32;
+};
+
+struct FrameResult {
+  int codewords_sent = 0;
+  int codewords_delivered = 0;
+  double empirical_cdr = 0.0;
+  double payload_bytes = 0.0;
+  bool block_ack = false;
+  // Slots jammed by an interferer burst during this frame.
+  int jammed_slots = 0;
+  std::vector<int> per_slot_delivered;  // size = slots_per_frame
+};
+
+class FrameTransmitter {
+ public:
+  FrameTransmitter(const ErrorModel* error_model, FrameTxConfig cfg = {});
+
+  // Transmit one frame over the link at (tx_beam, rx_beam, mcs). If the
+  // link has a duty-cycled interferer, a contiguous run of slots matching
+  // the duty cycle is jammed (CSMA bursts are contiguous in time).
+  FrameResult transmit(const channel::Link& link, array::BeamId tx_beam,
+                       array::BeamId rx_beam, McsIndex mcs,
+                       util::Rng& rng) const;
+
+  const FrameTxConfig& config() const { return cfg_; }
+
+ private:
+  int sample_delivered(int n, double p, util::Rng& rng) const;
+
+  const ErrorModel* error_model_;  // non-owning
+  FrameTxConfig cfg_;
+};
+
+}  // namespace libra::phy

@@ -1,0 +1,60 @@
+#include "phy/mcs.h"
+
+#include <stdexcept>
+
+namespace libra::phy {
+
+McsTable::McsTable() {
+  // X60-like ladder: 300 Mbps .. 4.75 Gbps over 9 steps. Thresholds follow
+  // the usual ~2-2.5 dB per modulation/coding step at a 2 GHz symbol rate.
+  entries_ = {
+      {0, "BPSK", 0.50, 300.0, 3.0, 180},
+      {1, "BPSK", 0.63, 385.0, 4.5, 225},
+      {2, "QPSK", 0.50, 770.0, 7.0, 360},
+      {3, "QPSK", 0.75, 1155.0, 9.5, 540},
+      {4, "QPSK", 1.00, 1540.0, 12.0, 720},
+      {5, "16QAM", 0.63, 1925.0, 14.5, 810},
+      {6, "16QAM", 0.75, 2310.0, 17.0, 900},
+      {7, "16QAM", 1.00, 3080.0, 20.5, 1000},
+      {8, "64QAM", 0.80, 4750.0, 24.5, 1080},
+  };
+}
+
+McsTable::McsTable(std::vector<McsEntry> entries)
+    : entries_(std::move(entries)) {
+  if (entries_.empty()) throw std::invalid_argument("empty MCS table");
+}
+
+const McsEntry& McsTable::entry(McsIndex i) const {
+  if (i < 0 || i >= size()) throw std::out_of_range("MCS index");
+  return entries_[static_cast<std::size_t>(i)];
+}
+
+McsIndex McsTable::highest_supported(double snr_db) const {
+  McsIndex best = -1;
+  for (const McsEntry& e : entries_) {
+    if (snr_db >= e.snr_threshold_db) best = e.index;
+  }
+  return best;
+}
+
+McsTable ieee80211ad_sc_table() {
+  // 802.11ad SC PHY data-frame MCSs 1-12 (385-4620 Mbps). Index here is
+  // re-based to 0..11 for uniform handling.
+  return McsTable({
+      {0, "BPSK", 0.50, 385.0, 3.0, 256},
+      {1, "BPSK", 0.63, 770.0, 4.5, 256},
+      {2, "BPSK", 0.75, 962.5, 5.5, 256},
+      {3, "BPSK", 0.88, 1155.0, 6.5, 256},
+      {4, "QPSK", 0.50, 1251.25, 7.5, 512},
+      {5, "QPSK", 0.63, 1540.0, 9.0, 512},
+      {6, "QPSK", 0.75, 1925.0, 10.5, 512},
+      {7, "QPSK", 0.88, 2310.0, 12.0, 512},
+      {8, "16QAM", 0.50, 2502.5, 14.0, 1024},
+      {9, "16QAM", 0.63, 3080.0, 16.0, 1024},
+      {10, "16QAM", 0.75, 3850.0, 18.5, 1024},
+      {11, "16QAM", 0.88, 4620.0, 21.0, 1024},
+  });
+}
+
+}  // namespace libra::phy

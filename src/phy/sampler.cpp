@@ -1,0 +1,71 @@
+#include "phy/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace libra::phy {
+
+PhySampler::PhySampler(const ErrorModel* error_model, SamplerConfig cfg)
+    : error_model_(error_model), cfg_(cfg) {
+  if (!error_model_) throw std::invalid_argument("null error model");
+}
+
+PhyObservation PhySampler::observe(const channel::Link& link,
+                                   array::BeamId tx_beam,
+                                   array::BeamId rx_beam, McsIndex mcs,
+                                   util::Rng& rng) const {
+  PhyObservation obs;
+  obs.mcs = mcs;
+
+  // A bursty interferer jams `duty` of the frames; per-frame logs average
+  // the clean and jammed regimes.
+  const double duty =
+      link.interferer() ? link.interferer()->duty_cycle : 0.0;
+  const double snr_clean = link.snr_clean_db(tx_beam, rx_beam);
+  const double snr_jam = link.snr_db(tx_beam, rx_beam);
+  const double true_snr = (1.0 - duty) * snr_clean + duty * snr_jam;
+  obs.snr_db = true_snr + rng.gaussian(0.0, cfg_.snr_jitter_db);
+  const double clean_floor =
+      link.thermal_floor_dbm() + link.interference_rise_db();
+  const double avg_floor = (1.0 - duty) * clean_floor +
+                           duty * link.noise_floor_dbm(rx_beam);
+  obs.noise_dbm = avg_floor + rng.gaussian(0.0, cfg_.noise_jitter_db);
+
+  auto contributions = link.contributions(tx_beam, rx_beam);
+  // Taps are detectable only above the receiver's effective noise floor;
+  // this is what makes X60 report ToF = infinity for very weak signals.
+  PdpConfig pdp_cfg = cfg_.pdp;
+  pdp_cfg.noise_floor_mw =
+      libra::util::dbm_to_mw(link.noise_floor_dbm(rx_beam) - 6.0);
+  obs.pdp = synthesize_pdp(contributions, pdp_cfg);
+  for (double& tap : obs.pdp) {
+    tap *= std::exp(rng.gaussian(0.0, cfg_.pdp_tap_jitter));
+  }
+  obs.tof_ns = time_of_flight_ns(obs.pdp, pdp_cfg);
+  obs.csi = csi_from_pdp(obs.pdp);
+
+  const double expected_cdr =
+      (1.0 - duty) * error_model_->expected_cdr(mcs, snr_clean) +
+      duty * error_model_->expected_cdr(mcs, snr_jam);
+  obs.cdr = std::clamp(expected_cdr + rng.gaussian(0.0, cfg_.cdr_jitter), 0.0,
+                       1.0);
+  obs.throughput_mbps = error_model_->table().rate_mbps(mcs) * obs.cdr *
+                        error_model_->config().framing_efficiency;
+  return obs;
+}
+
+double PhySampler::measure_snr_db(const channel::Link& link,
+                                  array::BeamId tx_beam,
+                                  array::BeamId rx_beam,
+                                  util::Rng& rng) const {
+  const double duty =
+      link.interferer() ? link.interferer()->duty_cycle : 0.0;
+  const double avg = (1.0 - duty) * link.snr_clean_db(tx_beam, rx_beam) +
+                     duty * link.snr_db(tx_beam, rx_beam);
+  return avg + rng.gaussian(0.0, cfg_.snr_jitter_db);
+}
+
+}  // namespace libra::phy

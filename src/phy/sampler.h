@@ -1,0 +1,58 @@
+// PHY measurement sampler: produces the per-trace observation record that
+// X60 logs for every frame (Sec. 5.1): SNR, noise level, PDP, CDR and MAC
+// throughput, averaged over a trace, with realistic measurement noise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "array/codebook.h"
+#include "channel/link.h"
+#include "phy/error_model.h"
+#include "phy/pdp.h"
+#include "util/rng.h"
+
+namespace libra::phy {
+
+struct PhyObservation {
+  double snr_db = 0.0;
+  double noise_dbm = 0.0;                // measured noise level
+  std::optional<double> tof_ns;          // nullopt = "infinity" (no signal)
+  std::vector<double> pdp;               // linear mW per tap
+  std::vector<double> csi;               // |FFT(pdp)|
+  double cdr = 0.0;                      // at the observed MCS
+  double throughput_mbps = 0.0;          // MAC throughput at the observed MCS
+  McsIndex mcs = 0;
+};
+
+struct SamplerConfig {
+  double snr_jitter_db = 0.4;      // trace-average SNR estimation error
+  double noise_jitter_db = 1.5;    // X60 noise readings span a wide range
+                                   // even without interference (Sec. 6.2)
+  double pdp_tap_jitter = 0.08;    // multiplicative per-tap jitter (sigma)
+  double cdr_jitter = 0.015;       // residual frame-level CDR variation
+  PdpConfig pdp;
+};
+
+class PhySampler {
+ public:
+  PhySampler(const ErrorModel* error_model, SamplerConfig cfg = {});
+
+  // Full observation of the link through a beam pair at an MCS.
+  PhyObservation observe(const channel::Link& link, array::BeamId tx_beam,
+                         array::BeamId rx_beam, McsIndex mcs,
+                         util::Rng& rng) const;
+
+  // Quick SNR-only measurement, as used during a sector sweep.
+  double measure_snr_db(const channel::Link& link, array::BeamId tx_beam,
+                        array::BeamId rx_beam, util::Rng& rng) const;
+
+  const ErrorModel& error_model() const { return *error_model_; }
+  const SamplerConfig& config() const { return cfg_; }
+
+ private:
+  const ErrorModel* error_model_;  // non-owning
+  SamplerConfig cfg_;
+};
+
+}  // namespace libra::phy

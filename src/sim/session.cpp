@@ -1,0 +1,143 @@
+#include "sim/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace libra::sim {
+
+Trajectory::Trajectory(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (!std::is_sorted(waypoints_.begin(), waypoints_.end(),
+                      [](const Waypoint& a, const Waypoint& b) {
+                        return a.t_ms < b.t_ms;
+                      })) {
+    throw std::invalid_argument("trajectory waypoints must be time-sorted");
+  }
+}
+
+Trajectory::Waypoint Trajectory::at(double t_ms) const {
+  if (waypoints_.empty()) return {};
+  if (t_ms <= waypoints_.front().t_ms) return waypoints_.front();
+  if (t_ms >= waypoints_.back().t_ms) return waypoints_.back();
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (t_ms > waypoints_[i].t_ms) continue;
+    const Waypoint& a = waypoints_[i - 1];
+    const Waypoint& b = waypoints_[i];
+    const double span = b.t_ms - a.t_ms;
+    const double frac = span > 0 ? (t_ms - a.t_ms) / span : 1.0;
+    Waypoint w;
+    w.t_ms = t_ms;
+    w.position = a.position + (b.position - a.position) * frac;
+    w.boresight_deg =
+        a.boresight_deg +
+        geom::wrap_angle_deg(b.boresight_deg - a.boresight_deg) * frac;
+    return w;
+  }
+  return waypoints_.back();
+}
+
+Trajectory Trajectory::stationary(geom::Vec2 position, double boresight_deg) {
+  return Trajectory({{0.0, position, boresight_deg}});
+}
+
+Trajectory Trajectory::walk(geom::Vec2 from, geom::Vec2 to,
+                            double duration_ms,
+                            std::optional<geom::Vec2> facing) {
+  const double f0 = facing ? (*facing - from).angle_deg()
+                           : (to - from).angle_deg();
+  const double f1 = facing ? (*facing - to).angle_deg()
+                           : (to - from).angle_deg();
+  return Trajectory({{0.0, from, f0}, {duration_ms, to, f1}});
+}
+
+Trajectory Trajectory::rotate(geom::Vec2 position, double from_deg,
+                              double to_deg, double duration_ms) {
+  return Trajectory({{0.0, position, from_deg},
+                     {duration_ms, position, to_deg}});
+}
+
+SessionResult run_session(env::Environment& environment, channel::Link& link,
+                          core::LinkController& controller,
+                          const SessionScript& script, util::Rng& rng,
+                          bool keep_frame_log) {
+  SessionResult result;
+
+  const auto apply_dynamics = [&](double t_ms) {
+    bool moved = false;
+    if (!script.rx_trajectory.empty()) {
+      const Trajectory::Waypoint pose = script.rx_trajectory.at(t_ms);
+      if (geom::distance(link.rx().position(), pose.position) > 1e-6 ||
+          std::abs(geom::wrap_angle_deg(link.rx().boresight_deg() -
+                                        pose.boresight_deg)) > 1e-6) {
+        link.rx().set_position(pose.position);
+        link.rx().set_boresight_deg(pose.boresight_deg);
+        moved = true;
+      }
+    }
+    environment.clear_blockers();
+    for (const BlockageEpisode& ep : script.blockage) {
+      if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
+        environment.add_blocker(ep.blocker);
+      }
+    }
+    bool interferer_set = false;
+    for (const InterferenceEpisode& ep : script.interference) {
+      if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
+        link.set_interferer(ep.interferer);
+        interferer_set = true;
+        break;
+      }
+    }
+    if (!interferer_set) link.set_interferer(std::nullopt);
+    if (moved) link.refresh();
+  };
+
+  apply_dynamics(0.0);
+  controller.start(rng);
+
+  channel::FadingProcess fading(script.fading, script.fading_seed);
+  double goodput_sum = 0.0;
+  bool in_outage = false;
+  int dead_frames = 0;
+  constexpr int kOutageFrames = 3;
+  double outage_start = 0.0;
+  double last_t_ms = controller.time_ms();
+  while (controller.time_ms() < script.duration_ms) {
+    apply_dynamics(controller.time_ms());
+    if (script.fading.sigma_db > 0.0) {
+      link.set_fade_db(fading.advance(controller.time_ms() - last_t_ms));
+      last_t_ms = controller.time_ms();
+    }
+    const core::FrameReport report = controller.step(rng);
+    ++result.frames;
+    goodput_sum += report.goodput_mbps;
+    result.bytes_mb += report.goodput_mbps * report.duration_ms / 8000.0;
+    if (report.action == trace::Action::kBA) ++result.adaptations_ba;
+    if (report.action == trace::Action::kRA) ++result.adaptations_ra;
+
+    const bool frame_ok = report.goodput_mbps > 150.0;
+    if (!frame_ok) {
+      if (dead_frames == 0) outage_start = report.t_ms;
+      ++dead_frames;
+      if (dead_frames == kOutageFrames) {
+        in_outage = true;
+        ++result.outages;
+      }
+    } else {
+      if (in_outage) {
+        in_outage = false;
+        result.total_outage_ms += report.t_ms - outage_start;
+      }
+      dead_frames = 0;
+    }
+    if (keep_frame_log) result.frame_log.push_back(report);
+  }
+  if (in_outage) {
+    result.total_outage_ms += controller.time_ms() - outage_start;
+  }
+  result.avg_goodput_mbps =
+      result.frames > 0 ? goodput_sum / result.frames : 0.0;
+  return result;
+}
+
+}  // namespace libra::sim

@@ -1,0 +1,102 @@
+// Live link sessions: scripted channel dynamics (mobility trajectories,
+// blockage episodes, interference bursts) driven against a live controller.
+//
+// This complements the trace-replay evaluation of Sec. 8: instead of
+// replaying collected (initial, impaired) state pairs, a Session evolves the
+// channel continuously and lets a LinkController (Algorithm 1 or a
+// heuristic) adapt in closed loop -- the deployment scenario the paper's
+// framework targets.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "channel/fading.h"
+#include "core/controller.h"
+#include "env/environment.h"
+
+namespace libra::sim {
+
+// Piecewise-linear position + orientation trajectory.
+class Trajectory {
+ public:
+  struct Waypoint {
+    double t_ms = 0.0;
+    geom::Vec2 position;
+    double boresight_deg = 0.0;
+  };
+
+  Trajectory() = default;
+  explicit Trajectory(std::vector<Waypoint> waypoints);
+
+  // Pose at time t (clamped to the first/last waypoint).
+  Waypoint at(double t_ms) const;
+
+  bool empty() const { return waypoints_.empty(); }
+  double duration_ms() const {
+    return waypoints_.empty() ? 0.0 : waypoints_.back().t_ms;
+  }
+
+  // Convenience builders.
+  static Trajectory stationary(geom::Vec2 position, double boresight_deg);
+  // Straight walk from a to b over [0, duration], facing `facing` the whole
+  // time (or the walking direction when nullopt).
+  static Trajectory walk(geom::Vec2 from, geom::Vec2 to, double duration_ms,
+                         std::optional<geom::Vec2> facing = std::nullopt);
+  // In-place rotation from one orientation to another.
+  static Trajectory rotate(geom::Vec2 position, double from_deg,
+                           double to_deg, double duration_ms);
+
+ private:
+  std::vector<Waypoint> waypoints_;  // sorted by t_ms
+};
+
+// A blocker that exists during [start, end).
+struct BlockageEpisode {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  env::Blocker blocker;
+};
+
+// An interferer active during [start, end).
+struct InterferenceEpisode {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  channel::Interferer interferer;
+};
+
+struct SessionScript {
+  Trajectory rx_trajectory;
+  std::vector<BlockageEpisode> blockage;
+  std::vector<InterferenceEpisode> interference;
+  double duration_ms = 10000.0;
+  // Temporal shadowing applied on top of the ray-traced channel; sigma 0
+  // disables it.
+  channel::FadingConfig fading{0.0, 200.0};
+  std::uint64_t fading_seed = 99;
+};
+
+struct SessionResult {
+  double bytes_mb = 0.0;
+  double avg_goodput_mbps = 0.0;
+  int frames = 0;
+  int adaptations_ba = 0;
+  int adaptations_ra = 0;
+  // Outage accounting: spans of at least three consecutive frames with
+  // goodput below the working threshold (single dead frames are ordinary
+  // loss, not outages).
+  int outages = 0;
+  double total_outage_ms = 0.0;
+  std::vector<core::FrameReport> frame_log;  // filled when requested
+};
+
+// Drive a controller through the script. The session mutates the
+// environment's blockers and the link's interferer according to the
+// episodes and moves the Rx along the trajectory.
+SessionResult run_session(env::Environment& environment, channel::Link& link,
+                          core::LinkController& controller,
+                          const SessionScript& script, util::Rng& rng,
+                          bool keep_frame_log = false);
+
+}  // namespace libra::sim

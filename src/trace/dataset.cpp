@@ -1,0 +1,106 @@
+#include "trace/dataset.h"
+
+namespace libra::trace {
+
+namespace {
+
+LabeledEntry make_entry(const CaseRecord& rec, const GroundTruthConfig& cfg,
+                        bool three_class) {
+  LabeledEntry e;
+  e.x = extract_features(rec);
+  e.gt = label_case(rec, cfg);
+  e.y = three_class ? e.gt.label3 : e.gt.label;
+  e.impairment = rec.impairment;
+  e.env_name = rec.env_name;
+  return e;
+}
+
+}  // namespace
+
+std::vector<LabeledEntry> Dataset::labeled(const GroundTruthConfig& cfg) const {
+  std::vector<LabeledEntry> out;
+  out.reserve(records.size());
+  for (const CaseRecord& rec : records) {
+    out.push_back(make_entry(rec, cfg, /*three_class=*/false));
+  }
+  return out;
+}
+
+std::vector<LabeledEntry> Dataset::labeled3(const GroundTruthConfig& cfg) const {
+  std::vector<LabeledEntry> out;
+  out.reserve(records.size() + na_records.size());
+  for (const CaseRecord& rec : records) {
+    out.push_back(make_entry(rec, cfg, /*three_class=*/true));
+  }
+  for (const CaseRecord& rec : na_records) {
+    out.push_back(make_entry(rec, cfg, /*three_class=*/true));
+  }
+  return out;
+}
+
+DatasetSummary summarize(const Dataset& ds, const GroundTruthConfig& cfg) {
+  DatasetSummary s;
+  std::map<Impairment, std::set<std::string>> positions;
+  for (const CaseRecord& rec : ds.records) {
+    const GroundTruth gt = label_case(rec, cfg);
+    DatasetSummaryRow* row = nullptr;
+    switch (rec.impairment) {
+      case Impairment::kDisplacement: row = &s.displacement; break;
+      case Impairment::kBlockage: row = &s.blockage; break;
+      case Impairment::kInterference: row = &s.interference; break;
+    }
+    for (DatasetSummaryRow* r : {row, &s.overall}) {
+      ++r->total;
+      if (gt.label == Action::kBA) {
+        ++r->ba;
+      } else {
+        ++r->ra;
+      }
+      ++r->positions_per_env[rec.env_name + "/" + rec.position_id];
+    }
+    positions[rec.impairment].insert(rec.position_id);
+  }
+  // Collapse the helper map into distinct-position counts per environment.
+  const auto finalize = [](DatasetSummaryRow& row) {
+    std::map<std::string, std::set<std::string>> per_env;
+    for (const auto& [key, n] : row.positions_per_env) {
+      const auto slash = key.find('/');
+      per_env[key.substr(0, slash)].insert(key.substr(slash + 1));
+    }
+    row.positions_per_env.clear();
+    row.positions = 0;
+    for (const auto& [env_name, ids] : per_env) {
+      row.positions_per_env[env_name] = static_cast<int>(ids.size());
+      row.positions += static_cast<int>(ids.size());
+    }
+  };
+  finalize(s.displacement);
+  finalize(s.blockage);
+  finalize(s.interference);
+  finalize(s.overall);
+  return s;
+}
+
+Dataset collect_dataset(const ScenarioSet& scenarios,
+                        const phy::ErrorModel& error_model,
+                        const CollectOptions& options) {
+  Dataset ds;
+  ds.records.reserve(scenarios.cases.size());
+  TraceCollector collector(&error_model, options.collector);
+  util::Rng rng(options.seed);
+
+  // Environments are copied so blocker mutation does not leak across runs.
+  std::vector<env::Environment> envs = scenarios.environments;
+  for (const Case& c : scenarios.cases) {
+    util::Rng case_rng = rng.fork();
+    auto& environment = envs[static_cast<std::size_t>(c.env_index)];
+    ds.records.push_back(collector.collect(environment, c, case_rng));
+    if (options.with_na_augmentation) {
+      util::Rng na_rng = rng.fork();
+      ds.na_records.push_back(collector.collect_na(environment, c, na_rng));
+    }
+  }
+  return ds;
+}
+
+}  // namespace libra::trace

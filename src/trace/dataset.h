@@ -1,0 +1,68 @@
+// Dataset assembly (Tables 1-2) and labeling.
+//
+// A Dataset owns the collected case records; labels are (re)computed on
+// demand because the ground truth depends on the protocol parameterization
+// (alpha, FAT, BA overhead -- Sec. 5.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/collector.h"
+#include "trace/features.h"
+#include "trace/ground_truth.h"
+#include "trace/scenario.h"
+
+namespace libra::trace {
+
+struct LabeledEntry {
+  FeatureVector x;
+  Action y = Action::kRA;
+  Impairment impairment = Impairment::kDisplacement;
+  std::string env_name;
+  GroundTruth gt;
+};
+
+struct Dataset {
+  std::vector<CaseRecord> records;     // one per impairment case
+  std::vector<CaseRecord> na_records;  // same-state augmentation (Sec. 7)
+
+  // 2-class entries (BA vs RA) over the impairment cases.
+  std::vector<LabeledEntry> labeled(const GroundTruthConfig& cfg) const;
+  // 3-class entries (BA / RA / NA) over impairment + augmentation cases.
+  std::vector<LabeledEntry> labeled3(const GroundTruthConfig& cfg) const;
+};
+
+// Table 1 / Table 2 row: case and position counts per impairment type.
+struct DatasetSummaryRow {
+  int total = 0;
+  int ba = 0;
+  int ra = 0;
+  int positions = 0;
+  std::map<std::string, int> positions_per_env;
+};
+
+struct DatasetSummary {
+  DatasetSummaryRow displacement;
+  DatasetSummaryRow blockage;
+  DatasetSummaryRow interference;
+  DatasetSummaryRow overall;
+};
+
+DatasetSummary summarize(const Dataset& ds, const GroundTruthConfig& cfg);
+
+struct CollectOptions {
+  CollectorConfig collector;
+  std::uint64_t seed = 1;
+  bool with_na_augmentation = true;
+};
+
+// Run the full measurement campaign over a scenario set.
+Dataset collect_dataset(const ScenarioSet& scenarios,
+                        const phy::ErrorModel& error_model,
+                        const CollectOptions& options = {});
+
+}  // namespace libra::trace

@@ -1,0 +1,81 @@
+// Feature extraction (Sec. 6.1): the seven PHY-layer metrics LiBRA feeds to
+// its classifiers, computed from the change between the initial-state trace
+// and the impaired-state trace through the SAME (initial) beam pair -- i.e.
+// what the transmitter can observe before adapting.
+//
+//   SNR difference       initial - current (dB); positive under impairment
+//   ToF difference       initial - current (ns); negative = path got longer
+//                        (backward motion / detour); +kTofInfinity sentinel
+//                        when the current state's ToF is unmeasurable
+//   Noise difference     current - initial (dB); rises under interference
+//   PDP similarity       Pearson correlation of the two PDPs (time domain)
+//   CSI similarity       Pearson correlation of the two |FFT(PDP)|
+//   CDR                  codeword delivery ratio at the initial MCS, on the
+//                        initial pair, at the current state
+//   Initial MCS          the best MCS before the impairment
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "trace/collector.h"
+#include "util/stats.h"
+
+namespace libra::trace {
+
+inline constexpr double kTofInfinity = 1000.0;  // sentinel (ns)
+
+// Pearson similarity of two PDPs after aligning each to its strongest tap.
+// X60 (like any receiver) time-synchronizes to the arriving signal, so the
+// logged PDP is delay-aligned; comparing raw tap vectors would spuriously
+// decorrelate a simple backward move (the whole profile shifts in time).
+inline double aligned_pdp_similarity(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto peak_a = static_cast<std::size_t>(
+      std::max_element(a.begin(), a.end()) - a.begin());
+  const auto peak_b = static_cast<std::size_t>(
+      std::max_element(b.begin(), b.end()) - b.begin());
+  const std::size_t len =
+      std::min(a.size() - peak_a, b.size() - peak_b);
+  if (len < 2) return 0.0;
+  return util::pearson(std::span(a).subspan(peak_a, len),
+                       std::span(b).subspan(peak_b, len));
+}
+
+struct FeatureVector {
+  static constexpr int kDim = 7;
+  static constexpr std::array<std::string_view, kDim> kNames = {
+      "SNR", "ToF", "NoiseLevel", "PDP", "CSI", "CDR", "InitialMCS"};
+
+  std::array<double, kDim> v{};
+
+  double snr_diff_db() const { return v[0]; }
+  double tof_diff_ns() const { return v[1]; }
+  double noise_diff_db() const { return v[2]; }
+  double pdp_similarity() const { return v[3]; }
+  double csi_similarity() const { return v[4]; }
+  double cdr() const { return v[5]; }
+  double initial_mcs() const { return v[6]; }
+};
+
+inline FeatureVector extract_features(const CaseRecord& rec) {
+  FeatureVector f;
+  f.v[0] = rec.init_best.snr_db - rec.new_at_init_pair.snr_db;
+  if (rec.init_best.tof_ns && rec.new_at_init_pair.tof_ns) {
+    f.v[1] = *rec.init_best.tof_ns - *rec.new_at_init_pair.tof_ns;
+  } else {
+    f.v[1] = kTofInfinity;
+  }
+  f.v[2] = rec.new_at_init_pair.noise_dbm - rec.init_best.noise_dbm;
+  f.v[3] = aligned_pdp_similarity(rec.init_best.pdp, rec.new_at_init_pair.pdp);
+  f.v[4] = util::pearson(rec.init_best.csi, rec.new_at_init_pair.csi);
+  f.v[5] = rec.new_at_init_pair.cdr[static_cast<std::size_t>(rec.init_mcs)];
+  f.v[6] = static_cast<double>(rec.init_mcs);
+  return f;
+}
+
+}  // namespace libra::trace

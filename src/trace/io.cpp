@@ -1,0 +1,158 @@
+#include "trace/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace libra::trace {
+
+namespace {
+
+constexpr const char* kMagic = "libra-dataset-v2";
+
+void write_vector(std::ostream& out, const char* tag,
+                  const std::vector<double>& v) {
+  out << tag << ' ' << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+std::vector<double> read_vector(std::istream& in, const std::string& tag) {
+  std::string got;
+  std::size_t n = 0;
+  if (!(in >> got >> n) || got != tag) {
+    throw std::runtime_error("dataset parse error: expected '" + tag +
+                             "', got '" + got + "'");
+  }
+  std::vector<double> v(n);
+  for (double& x : v) {
+    if (!(in >> x)) throw std::runtime_error("dataset parse error in " + tag);
+  }
+  return v;
+}
+
+void write_trace(std::ostream& out, const PairTrace& t) {
+  out << "trace " << t.tx_beam << ' ' << t.rx_beam << ' ' << t.snr_db << ' '
+      << t.noise_dbm << ' ';
+  if (t.tof_ns) {
+    out << *t.tof_ns << '\n';
+  } else {
+    out << "inf\n";
+  }
+  write_vector(out, "pdp", t.pdp);
+  write_vector(out, "csi", t.csi);
+  write_vector(out, "tput", t.throughput_mbps);
+  write_vector(out, "cdr", t.cdr);
+}
+
+PairTrace read_trace(std::istream& in) {
+  std::string tag, tof;
+  PairTrace t;
+  if (!(in >> tag >> t.tx_beam >> t.rx_beam >> t.snr_db >> t.noise_dbm >>
+        tof) ||
+      tag != "trace") {
+    throw std::runtime_error("dataset parse error: expected 'trace'");
+  }
+  if (tof != "inf") t.tof_ns = std::stod(tof);
+  t.pdp = read_vector(in, "pdp");
+  t.csi = read_vector(in, "csi");
+  t.throughput_mbps = read_vector(in, "tput");
+  t.cdr = read_vector(in, "cdr");
+  return t;
+}
+
+void write_record(std::ostream& out, const CaseRecord& rec) {
+  out << "record " << static_cast<int>(rec.impairment) << ' '
+      << (rec.env_name.empty() ? "-" : rec.env_name) << ' '
+      << (rec.position_id.empty() ? "-" : rec.position_id) << ' '
+      << rec.init_mcs << ' ' << rec.interferer_eirp_dbm << ' '
+      << (rec.forced_na ? 1 : 0) << ' ' << (rec.angular_displacement ? 1 : 0)
+      << '\n';
+  write_trace(out, rec.init_best);
+  write_trace(out, rec.new_at_init_pair);
+  write_trace(out, rec.new_best);
+  write_trace(out, rec.init_failover);
+  write_trace(out, rec.new_at_failover);
+}
+
+CaseRecord read_record(std::istream& in) {
+  std::string tag;
+  int impairment = 0, forced_na = 0, angular = 0;
+  CaseRecord rec;
+  if (!(in >> tag >> impairment >> rec.env_name >> rec.position_id >>
+        rec.init_mcs >> rec.interferer_eirp_dbm >> forced_na >> angular) ||
+      tag != "record") {
+    throw std::runtime_error("dataset parse error: expected 'record'");
+  }
+  rec.angular_displacement = angular != 0;
+  if (impairment < 0 || impairment > 2) {
+    throw std::runtime_error("dataset parse error: bad impairment");
+  }
+  rec.impairment = static_cast<Impairment>(impairment);
+  if (rec.env_name == "-") rec.env_name.clear();
+  if (rec.position_id == "-") rec.position_id.clear();
+  rec.forced_na = forced_na != 0;
+  rec.init_best = read_trace(in);
+  rec.new_at_init_pair = read_trace(in);
+  rec.new_best = read_trace(in);
+  rec.init_failover = read_trace(in);
+  rec.new_at_failover = read_trace(in);
+  return rec;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, std::ostream& out) {
+  out << kMagic << ' ' << dataset.records.size() << ' '
+      << dataset.na_records.size() << '\n';
+  out << std::setprecision(17);
+  for (const CaseRecord& rec : dataset.records) write_record(out, rec);
+  for (const CaseRecord& rec : dataset.na_records) write_record(out, rec);
+}
+
+Dataset load_dataset(std::istream& in) {
+  std::string magic;
+  std::size_t n_records = 0, n_na = 0;
+  if (!(in >> magic >> n_records >> n_na) || magic != kMagic) {
+    throw std::runtime_error("not a libra dataset stream");
+  }
+  Dataset ds;
+  ds.records.reserve(n_records);
+  ds.na_records.reserve(n_na);
+  for (std::size_t i = 0; i < n_records; ++i) {
+    ds.records.push_back(read_record(in));
+  }
+  for (std::size_t i = 0; i < n_na; ++i) {
+    ds.na_records.push_back(read_record(in));
+  }
+  return ds;
+}
+
+void save_dataset_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_dataset(dataset, out);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_dataset(in);
+}
+
+void write_feature_csv(const Dataset& dataset, const GroundTruthConfig& cfg,
+                       std::ostream& out) {
+  out << "snr_diff_db,tof_diff_ns,noise_diff_db,pdp_similarity,"
+         "csi_similarity,cdr,initial_mcs,impairment,env,label\n";
+  for (const LabeledEntry& e : dataset.labeled(cfg)) {
+    for (double v : e.x.v) out << v << ',';
+    out << to_string(e.impairment) << ',' << e.env_name << ','
+        << to_string(e.y) << '\n';
+  }
+}
+
+}  // namespace libra::trace

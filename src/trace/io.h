@@ -1,0 +1,33 @@
+// Dataset persistence.
+//
+// The paper publishes its dataset; a reusable framework must be able to
+// save a collected campaign and reload it later (e.g. to retrain models
+// without re-running the collection, or to exchange datasets between
+// machines). Two formats:
+//
+//   - full record stream (save/load_dataset): a line-oriented text format
+//     carrying every PairTrace (SNR, noise, ToF, PDP, CSI, per-MCS
+//     throughput/CDR) -- lossless round trip;
+//   - feature CSV (write_feature_csv): the labeled feature matrix in the
+//     layout of Sec. 6.1, for external ML tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/dataset.h"
+
+namespace libra::trace {
+
+void save_dataset(const Dataset& dataset, std::ostream& out);
+Dataset load_dataset(std::istream& in);  // throws std::runtime_error on a
+                                         // malformed stream
+
+void save_dataset_file(const Dataset& dataset, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+// Labeled feature matrix as CSV (header + one row per case).
+void write_feature_csv(const Dataset& dataset, const GroundTruthConfig& cfg,
+                       std::ostream& out);
+
+}  // namespace libra::trace

@@ -1,0 +1,351 @@
+#include "trace/scenario.h"
+
+#include <stdexcept>
+
+#include "env/registry.h"
+
+namespace libra::trace {
+
+std::string to_string(Impairment imp) {
+  switch (imp) {
+    case Impairment::kDisplacement: return "displacement";
+    case Impairment::kBlockage: return "blockage";
+    case Impairment::kInterference: return "interference";
+  }
+  return "?";
+}
+
+double target_drop_fraction(InterferenceLevel level) {
+  switch (level) {
+    case InterferenceLevel::kLow: return 0.2;
+    case InterferenceLevel::kMedium: return 0.5;
+    case InterferenceLevel::kHigh: return 0.8;
+  }
+  throw std::invalid_argument("bad interference level");
+}
+
+namespace {
+
+using geom::Vec2;
+
+Pose facing(Vec2 pos, Vec2 target) {
+  return Pose{pos, (target - pos).angle_deg()};
+}
+
+std::string pos_id(const std::string& env, int idx) {
+  return env + "#" + std::to_string(idx);
+}
+
+// All displacement moves within one trajectory share the trajectory's
+// initial state (Sec. 5.1: the initial state is the Rx position closest to
+// the Tx / the 0-degree orientation).
+void add_moves(std::vector<Case>& cases, int env_index,
+               const std::string& env_name, Pose tx, Pose rx0,
+               const std::vector<Pose>& new_poses, int& next_pos) {
+  for (const Pose& p : new_poses) {
+    Case c;
+    c.env_index = env_index;
+    c.env_name = env_name;
+    c.impairment = Impairment::kDisplacement;
+    c.tx = tx;
+    c.initial.rx = rx0;
+    c.next.rx = p;
+    c.position_id = pos_id(env_name, next_pos++);
+    cases.push_back(std::move(c));
+  }
+}
+
+// Rotations from 0 to -90 and 0 to +90 in 15-degree steps (Sec. 4.2): the
+// 0-degree orientation at this spot is the initial state.
+void add_rotations(std::vector<Case>& cases, int env_index,
+                   const std::string& env_name, Pose tx, Pose rx_spot,
+                   int& next_pos) {
+  const std::string id = pos_id(env_name, next_pos++);
+  for (int sign : {-1, 1}) {
+    for (int step = 1; step <= 6; ++step) {
+      Case c;
+      c.env_index = env_index;
+      c.env_name = env_name;
+      c.impairment = Impairment::kDisplacement;
+      c.tx = tx;
+      c.initial.rx = rx_spot;
+      c.next.rx = rx_spot;
+      c.next.rx.boresight_deg =
+          geom::wrap_angle_deg(rx_spot.boresight_deg + sign * 15.0 * step);
+      c.position_id = id;
+      cases.push_back(std::move(c));
+    }
+  }
+}
+
+// Blockage: three blocker placements on the LOS (near Tx, middle, near Rx),
+// each with a centered (full) and an offset (partial) variant.
+void add_blockage(std::vector<Case>& cases, int env_index,
+                  const std::string& env_name, Pose tx, Pose rx,
+                  int& next_pos) {
+  const std::string id = pos_id(env_name, next_pos++);
+  const Vec2 los = rx.position - tx.position;
+  const Vec2 perp = Vec2{-los.y, los.x}.normalized();
+  for (double frac : {0.2, 0.5, 0.8}) {
+    for (double offset : {0.0, 0.12}) {
+      Case c;
+      c.env_index = env_index;
+      c.env_name = env_name;
+      c.impairment = Impairment::kBlockage;
+      c.tx = tx;
+      c.initial.rx = rx;
+      c.next.rx = rx;
+      env::Blocker blk;
+      blk.position = tx.position + los * frac + perp * offset;
+      c.next.blockers.push_back(blk);
+      c.position_id = id;
+      cases.push_back(std::move(c));
+    }
+  }
+}
+
+// Interference: three hidden-terminal placements x three calibrated levels
+// (EIRP is solved at collection time). Two placements sit near the Tx-Rx
+// axis -- a hidden terminal whose signal arrives from (almost) the same
+// direction as the data signal, which no Rx beam can escape -- and one sits
+// well off-axis, where beam adaptation can still help (the ~1/3 BA fraction
+// in Table 1).
+void add_interference(std::vector<Case>& cases, int env_index,
+                      const std::string& env_name,
+                      const env::Environment& environment, Pose tx, Pose rx,
+                      int& next_pos) {
+  const std::string id = pos_id(env_name, next_pos++);
+  const Vec2 los = rx.position - tx.position;
+  const Vec2 dir = los.normalized();
+  const Vec2 perp{-dir.y, dir.x};
+  const std::vector<Vec2> interferer_positions = {
+      // Just behind and beside the Tx: arrival direction ~= signal direction.
+      environment.clamp_inside(tx.position - dir * 1.2 + perp * 0.5),
+      // Mid-path, just off the LOS: arrival at the Rx stays within a few
+      // degrees of the serving beam's pointing direction.
+      environment.clamp_inside(tx.position + los * 0.55 + perp * 0.35),
+      // Well off-axis: an alternative Rx beam can null it.
+      environment.clamp_inside(tx.position + los * 0.5 +
+                               perp * (0.8 * los.norm())),
+  };
+  for (const Vec2& ipos : interferer_positions) {
+    for (InterferenceLevel lvl : {InterferenceLevel::kLow,
+                                  InterferenceLevel::kMedium,
+                                  InterferenceLevel::kHigh}) {
+      Case c;
+      c.env_index = env_index;
+      c.env_name = env_name;
+      c.impairment = Impairment::kInterference;
+      c.tx = tx;
+      c.initial.rx = rx;
+      c.next.rx = rx;
+      c.next.interferer_position = ipos;
+      c.next.interference_level = lvl;
+      c.position_id = id;
+      cases.push_back(std::move(c));
+    }
+  }
+}
+
+}  // namespace
+
+ScenarioSet training_scenarios() {
+  ScenarioSet set;
+  set.environments = env::training_environments();
+  auto& cases = set.cases;
+  int pos = 0;
+
+  // ---- Lobby (24 x 12 m), Fig. 14a: two Tx placements. ----
+  {
+    const int ei = 0;
+    const std::string en = "lobby";
+    const Pose tx1{{2.0, 6.0}, 0.0};
+    const Pose rx0 = facing({5.0, 6.0}, tx1.position);
+    // Backward along the boresight.
+    std::vector<Pose> moves;
+    for (double x : {8.0, 11.0, 14.0, 17.0, 20.0}) {
+      moves.push_back(facing({x, 6.0}, tx1.position));
+    }
+    // Lateral (orientation kept facing the original Tx direction so
+    // misalignment grows with offset).
+    for (double y : {7.5, 9.0, 10.5}) {
+      moves.push_back(Pose{{5.0, y}, rx0.boresight_deg});
+    }
+    for (double y : {4.5, 3.0}) {
+      moves.push_back(Pose{{5.0, y}, rx0.boresight_deg});
+    }
+    // Diagonal.
+    moves.push_back(Pose{{8.0, 8.0}, rx0.boresight_deg});
+    moves.push_back(Pose{{11.0, 9.5}, rx0.boresight_deg});
+    moves.push_back(Pose{{14.0, 11.0}, rx0.boresight_deg});
+    // Intermediate backward steps (the paper measured many ranges).
+    for (double x : {6.5, 9.5, 12.5, 15.5, 18.5}) {
+      moves.push_back(facing({x, 6.0}, tx1.position));
+    }
+    add_moves(cases, ei, en, tx1, rx0, moves, pos);
+    add_rotations(cases, ei, en, tx1, facing({11.0, 6.0}, tx1.position), pos);
+    add_rotations(cases, ei, en, tx1, Pose{{5.0, 9.0}, rx0.boresight_deg}, pos);
+    add_rotations(cases, ei, en, tx1, facing({17.0, 6.0}, tx1.position), pos);
+
+    const Pose tx2{{12.0, 1.5}, 90.0};
+    const Pose rx0b = facing({12.0, 4.5}, tx2.position);
+    std::vector<Pose> moves2;
+    for (double y : {7.0, 9.5, 11.0}) {
+      moves2.push_back(facing({12.0, y}, tx2.position));
+    }
+    for (double x : {15.0, 18.0, 9.0}) {
+      moves2.push_back(Pose{{x, 4.5}, rx0b.boresight_deg});
+    }
+    moves2.push_back(Pose{{15.0, 7.5}, rx0b.boresight_deg});
+    moves2.push_back(Pose{{18.0, 10.0}, rx0b.boresight_deg});
+    add_moves(cases, ei, en, tx2, rx0b, moves2, pos);
+    add_rotations(cases, ei, en, tx2, facing({12.0, 9.5}, tx2.position), pos);
+
+    // Blockage & interference positions (4 in the lobby, Table 1).
+    for (Vec2 rxp : {Vec2{8.0, 6.0}, Vec2{14.0, 6.0}, Vec2{11.0, 9.0},
+                     Vec2{18.0, 6.0}}) {
+      add_blockage(cases, ei, en, tx1, facing(rxp, tx1.position), pos);
+      add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx1, facing(rxp, tx1.position), pos);
+    }
+  }
+
+  // ---- Lab (11.8 x 9.2 m), Fig. 14b. ----
+  {
+    const int ei = 1;
+    const std::string en = "lab";
+    const Pose tx{{0.8, 3.0}, 0.0};
+    const Pose rx0 = facing({2.6, 3.0}, tx.position);
+    std::vector<Pose> moves;
+    for (int i = 1; i <= 8; ++i) {
+      moves.push_back(facing({2.6 + i * 1.0, 3.0}, tx.position));
+    }
+    add_moves(cases, ei, en, tx, rx0, moves, pos);
+    for (double x : {4.6, 7.6, 10.6}) {
+      add_rotations(cases, ei, en, tx, facing({x, 3.0}, tx.position), pos);
+    }
+    add_blockage(cases, ei, en, tx, facing({6.6, 3.0}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({6.6, 3.0}, tx.position), pos);
+  }
+
+  // ---- Conference room (10.4 x 6.8 m), Fig. 14c. ----
+  {
+    const int ei = 2;
+    const std::string en = "conference_room";
+    const Pose tx{{1.0, 5.6}, -35.0};
+    const Pose rx0 = facing({3.0, 4.4}, tx.position);
+    std::vector<Pose> moves;
+    moves.push_back(facing({4.6, 4.8}, tx.position));
+    moves.push_back(facing({6.2, 5.0}, tx.position));
+    moves.push_back(facing({7.8, 4.4}, tx.position));
+    // Positions 4-7: the Rx faces the same direction as the Tx, so the link
+    // must go through a reflection (Appendix A.2.2).
+    for (Vec2 p : {Vec2{7.8, 2.2}, Vec2{6.2, 1.9}, Vec2{4.6, 1.9},
+                   Vec2{3.0, 2.2}}) {
+      moves.push_back(Pose{p, tx.boresight_deg});
+    }
+    add_moves(cases, ei, en, tx, rx0, moves, pos);
+    add_rotations(cases, ei, en, tx, rx0, pos);
+    add_rotations(cases, ei, en, tx, Pose{{7.8, 2.2}, tx.boresight_deg}, pos);
+    add_rotations(cases, ei, en, tx, facing({6.2, 5.0}, tx.position), pos);
+    add_blockage(cases, ei, en, tx, facing({6.2, 5.0}, tx.position), pos);
+    add_blockage(cases, ei, en, tx, facing({4.6, 4.8}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({6.2, 5.0}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({4.6, 4.8}, tx.position), pos);
+  }
+
+  // ---- Corridors (widths 1.74, 3.2, 6.2 m), Appendix A.2.2. ----
+  const double widths[] = {1.74, 3.2, 6.2};
+  for (int k = 0; k < 3; ++k) {
+    const int ei = 3 + k;
+    const double w = widths[k];
+    const std::string en = set.environments[static_cast<std::size_t>(ei)].name();
+    const double mid = w / 2.0;
+    const Pose tx{{0.5, mid}, 0.0};
+    const Pose rx0 = facing({2.5, mid}, tx.position);
+    std::vector<Pose> moves;
+    const int steps = (k == 0) ? 16 : 9;  // narrow: 17 positions; wide: 10
+    for (int i = 1; i <= steps; ++i) {
+      moves.push_back(facing({2.5 + i * 1.25, mid}, tx.position));
+    }
+    add_moves(cases, ei, en, tx, rx0, moves, pos);
+    // Rotations 5, 10 and 15 m from the Tx (all three corridors).
+    for (double d : {5.0, 10.0, 15.0}) {
+      add_rotations(cases, ei, en, tx, facing({0.5 + d, mid}, tx.position),
+                    pos);
+    }
+    // Blockage/interference at 1-2 positions per corridor (5 total).
+    add_blockage(cases, ei, en, tx, facing({7.5, mid}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({7.5, mid}, tx.position), pos);
+    if (k == 2) {
+      add_blockage(cases, ei, en, tx, facing({13.75, mid}, tx.position), pos);
+      add_blockage(cases, ei, en, tx, facing({3.75, mid}, tx.position), pos);
+      add_interference(cases, ei, en,
+                       set.environments[static_cast<std::size_t>(ei)], tx,
+                       facing({13.75, mid}, tx.position), pos);
+    }
+  }
+
+  return set;
+}
+
+ScenarioSet testing_scenarios() {
+  ScenarioSet set;
+  set.environments = env::testing_environments();
+  auto& cases = set.cases;
+  int pos = 1000;  // distinct id space from training
+
+  // ---- Building 1: long 2.5 m corridor, old construction. ----
+  {
+    const int ei = 0;
+    const std::string en = "building1_corridor";
+    const Pose tx{{0.5, 1.25}, 0.0};
+    const Pose rx0 = facing({2.5, 1.25}, tx.position);
+    std::vector<Pose> moves;
+    for (int i = 1; i <= 13; ++i) {
+      moves.push_back(facing({2.5 + i * 2.0, 1.25}, tx.position));
+    }
+    for (int i = 1; i <= 6; ++i) {  // intermediate ranges
+      moves.push_back(facing({3.5 + i * 4.0, 1.25}, tx.position));
+    }
+    add_moves(cases, ei, en, tx, rx0, moves, pos);
+    for (double d : {6.0, 10.0, 14.0, 22.0}) {
+      add_rotations(cases, ei, en, tx, facing({0.5 + d, 1.25}, tx.position),
+                    pos);
+    }
+    add_blockage(cases, ei, en, tx, facing({4.5, 1.25}, tx.position), pos);
+    add_blockage(cases, ei, en, tx, facing({8.5, 1.25}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({4.5, 1.25}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({8.5, 1.25}, tx.position), pos);
+  }
+
+  // ---- Building 2: wide open area. ----
+  {
+    const int ei = 1;
+    const std::string en = "building2_open_area";
+    const Pose tx{{3.0, 9.0}, 0.0};
+    const Pose rx0 = facing({6.0, 9.0}, tx.position);
+    std::vector<Pose> moves;
+    for (double x : {10.0, 14.0, 18.0, 22.0, 26.0}) {
+      moves.push_back(facing({x, 9.0}, tx.position));
+    }
+    for (double y : {12.0, 15.0, 6.0}) {
+      moves.push_back(Pose{{6.0, y}, rx0.boresight_deg});
+    }
+    moves.push_back(Pose{{10.0, 12.0}, rx0.boresight_deg});
+    moves.push_back(Pose{{14.0, 14.5}, rx0.boresight_deg});
+    moves.push_back(facing({8.0, 9.0}, tx.position));
+    moves.push_back(facing({24.0, 9.0}, tx.position));
+    add_moves(cases, ei, en, tx, rx0, moves, pos);
+    add_rotations(cases, ei, en, tx, facing({14.0, 9.0}, tx.position), pos);
+    add_rotations(cases, ei, en, tx, Pose{{6.0, 12.0}, rx0.boresight_deg}, pos);
+    add_rotations(cases, ei, en, tx, facing({22.0, 9.0}, tx.position), pos);
+    add_blockage(cases, ei, en, tx, facing({10.0, 9.0}, tx.position), pos);
+    add_blockage(cases, ei, en, tx, facing({18.0, 9.0}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({10.0, 9.0}, tx.position), pos);
+    add_interference(cases, ei, en, set.environments[static_cast<std::size_t>(ei)], tx, facing({18.0, 9.0}, tx.position), pos);
+  }
+
+  return set;
+}
+
+}  // namespace libra::trace

@@ -1,0 +1,70 @@
+// Measurement scenarios (Sec. 4.2, Appendix A.2.2).
+//
+// A Case is one dataset entry: an initial state plus a new state that
+// differs by exactly one link impairment -- linear/angular displacement,
+// blockage, or interference. The generators below enumerate the same state
+// spaces the paper measured: per-environment Rx trajectories (backward,
+// lateral, diagonal), rotations in 15-degree steps from -90 to 90, three
+// blocker placements (near Tx / middle / near Rx) with full and partial
+// occlusion, and three interferer positions x three calibrated interference
+// levels (throughput drops of ~20/50/80%).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+#include "geom/geometry.h"
+
+namespace libra::trace {
+
+enum class Impairment { kDisplacement, kBlockage, kInterference };
+
+std::string to_string(Impairment imp);
+
+struct Pose {
+  geom::Vec2 position;
+  double boresight_deg = 0.0;
+};
+
+// Interference levels from Sec. 4.2: target throughput drop fractions.
+enum class InterferenceLevel { kLow, kMedium, kHigh };
+double target_drop_fraction(InterferenceLevel level);
+
+// Everything that defines a measurable link state besides the Tx (which is
+// fixed per scenario).
+struct StateSpec {
+  Pose rx;
+  std::vector<env::Blocker> blockers;
+  // Interferer position; the EIRP is calibrated at collection time to hit
+  // the level's target throughput drop.
+  std::optional<geom::Vec2> interferer_position;
+  std::optional<InterferenceLevel> interference_level;
+};
+
+struct Case {
+  int env_index = 0;  // into the accompanying environment list
+  std::string env_name;
+  Impairment impairment = Impairment::kDisplacement;
+  Pose tx;
+  StateSpec initial;
+  StateSpec next;
+  // Identifier of the Rx measurement position (for the Table 1/2 position
+  // counts); rotations at one spot share the id of that spot.
+  std::string position_id;
+};
+
+struct ScenarioSet {
+  std::vector<env::Environment> environments;
+  std::vector<Case> cases;
+};
+
+// The main (training) dataset scenarios: lobby, lab, conference room and
+// three corridors (Table 1).
+ScenarioSet training_scenarios();
+
+// The testing dataset scenarios: Buildings 1 and 2 (Table 2).
+ScenarioSet testing_scenarios();
+
+}  // namespace libra::trace

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Header-only today; this TU anchors the library and keeps room for
+// out-of-line additions without touching every dependent target.

@@ -1,0 +1,107 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace libra::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::invalid_argument("quantile of empty CDF");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+BoxplotSummary boxplot(std::span<const double> samples) {
+  BoxplotSummary s;
+  if (samples.empty()) return s;
+  std::vector<double> v(samples.begin(), samples.end());
+  EmpiricalCdf cdf(std::move(v));
+  s.min = cdf.quantile(0.0);
+  s.q1 = cdf.quantile(0.25);
+  s.median = cdf.quantile(0.5);
+  s.q3 = cdf.quantile(0.75);
+  s.max = cdf.quantile(1.0);
+  s.mean = mean(samples);
+  s.n = samples.size();
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  return EmpiricalCdf(std::move(v)).quantile(p / 100.0);
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace libra::util

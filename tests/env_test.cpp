@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+#include "env/registry.h"
+
+namespace libra::env {
+namespace {
+
+Environment box() {
+  return Environment("box", rectangle_walls(10, 5, 8, 8, 8, 8));
+}
+
+TEST(Environment, RectangleWallsFormClosedLoop) {
+  const auto walls = rectangle_walls(10, 5, 1, 2, 3, 4);
+  ASSERT_EQ(walls.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& cur = walls[i];
+    const auto& next = walls[(i + 1) % 4];
+    EXPECT_DOUBLE_EQ(cur.seg.b.x, next.seg.a.x);
+    EXPECT_DOUBLE_EQ(cur.seg.b.y, next.seg.a.y);
+  }
+  EXPECT_DOUBLE_EQ(walls[0].reflection_loss_db, 1);
+  EXPECT_DOUBLE_EQ(walls[2].reflection_loss_db, 3);
+}
+
+TEST(Environment, InteriorSegmentNotObstructed) {
+  const Environment e = box();
+  EXPECT_FALSE(e.wall_obstructs({1, 1}, {9, 4}));
+}
+
+TEST(Environment, SegmentThroughWallObstructed) {
+  const Environment e = box();
+  EXPECT_TRUE(e.wall_obstructs({5, 2}, {5, 8}));   // exits through the top
+  EXPECT_TRUE(e.wall_obstructs({-2, 2}, {12, 2})); // crosses both sides
+}
+
+TEST(Environment, InteriorObstacleBlocks) {
+  auto walls = rectangle_walls(10, 5, 8, 8, 8, 8);
+  walls.push_back({{{4, 1}, {4, 4}}, 4.0, "cabinet"});
+  const Environment e("lab-ish", std::move(walls));
+  EXPECT_TRUE(e.wall_obstructs({1, 2}, {9, 2}));
+  EXPECT_FALSE(e.wall_obstructs({1, 4.5}, {9, 4.5}));
+}
+
+TEST(Blocker, CenteredHitFullAttenuation) {
+  Environment e = box();
+  e.add_blocker({{5, 2}, 0.25, 28.0});
+  EXPECT_NEAR(e.blockage_loss_db({1, 2}, {9, 2}), 28.0, 1e-9);
+}
+
+TEST(Blocker, GrazingHitPartialAttenuation) {
+  Environment e = box();
+  e.add_blocker({{5, 2.2}, 0.25, 28.0});
+  const double loss = e.blockage_loss_db({1, 2}, {9, 2});
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 28.0 * 0.3);
+}
+
+TEST(Blocker, MissedEntirely) {
+  Environment e = box();
+  e.add_blocker({{5, 3.5}, 0.25, 28.0});
+  EXPECT_DOUBLE_EQ(e.blockage_loss_db({1, 2}, {9, 2}), 0.0);
+}
+
+TEST(Blocker, MultipleBlockersAccumulate) {
+  Environment e = box();
+  e.add_blocker({{3, 2}, 0.25, 10.0});
+  e.add_blocker({{7, 2}, 0.25, 15.0});
+  EXPECT_NEAR(e.blockage_loss_db({1, 2}, {9, 2}), 25.0, 1e-9);
+}
+
+TEST(Blocker, ClearBlockersResets) {
+  Environment e = box();
+  e.add_blocker({{5, 2}, 0.25, 28.0});
+  e.clear_blockers();
+  EXPECT_DOUBLE_EQ(e.blockage_loss_db({1, 2}, {9, 2}), 0.0);
+  EXPECT_TRUE(e.blockers().empty());
+}
+
+TEST(Environment, BoundingBox) {
+  const Environment e = box();
+  const auto bb = e.bounding_box();
+  EXPECT_DOUBLE_EQ(bb.min.x, 0);
+  EXPECT_DOUBLE_EQ(bb.min.y, 0);
+  EXPECT_DOUBLE_EQ(bb.max.x, 10);
+  EXPECT_DOUBLE_EQ(bb.max.y, 5);
+}
+
+TEST(Environment, ClampInside) {
+  const Environment e = box();
+  const auto p = e.clamp_inside({20, -5}, 0.5);
+  EXPECT_DOUBLE_EQ(p.x, 9.5);
+  EXPECT_DOUBLE_EQ(p.y, 0.5);
+  const auto q = e.clamp_inside({5, 2}, 0.5);
+  EXPECT_DOUBLE_EQ(q.x, 5);
+  EXPECT_DOUBLE_EQ(q.y, 2);
+}
+
+TEST(Registry, TrainingEnvironmentsMatchTable1) {
+  const auto envs = training_environments();
+  ASSERT_EQ(envs.size(), 6u);  // lobby, lab, conference, 3 corridors
+  EXPECT_EQ(envs[0].name(), "lobby");
+  EXPECT_EQ(envs[1].name(), "lab");
+  EXPECT_EQ(envs[2].name(), "conference_room");
+}
+
+TEST(Registry, TestingEnvironmentsMatchTable2) {
+  const auto envs = testing_environments();
+  ASSERT_EQ(envs.size(), 2u);
+  EXPECT_EQ(envs[0].name(), "building1_corridor");
+  EXPECT_EQ(envs[1].name(), "building2_open_area");
+}
+
+TEST(Registry, LobbyHasPillars) {
+  const Environment lobby = make_lobby();
+  EXPECT_GT(lobby.walls().size(), 4u);
+}
+
+TEST(Registry, LabCabinetsBlockCrossRoomPath) {
+  const Environment lab = make_lab();
+  // The cabinet row at y=6.4 blocks a straight path crossing it.
+  EXPECT_TRUE(lab.wall_obstructs({5, 5}, {5, 8}));
+}
+
+TEST(Registry, CorridorDimensions) {
+  const Environment narrow = make_corridor(1.74);
+  const auto bb = narrow.bounding_box();
+  EXPECT_NEAR(bb.max.y - bb.min.y, 1.74, 1e-9);
+  EXPECT_NEAR(bb.max.x - bb.min.x, 30.0, 1e-9);
+}
+
+TEST(Registry, Building1WallsAreLossier) {
+  // Old construction: per-bounce loss higher than the main building's
+  // drywall, which is what degrades cross-building model accuracy.
+  const Environment b1 = make_building1_corridor();
+  const Environment corr = make_corridor(3.2);
+  EXPECT_GT(b1.walls()[0].reflection_loss_db,
+            corr.walls()[0].reflection_loss_db);
+}
+
+}  // namespace
+}  // namespace libra::env

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "env/registry.h"
+#include "mac/ack.h"
+#include "mac/beacon_interval.h"
+#include "mac/csma.h"
+#include "mac/beam_training.h"
+#include "mac/timing.h"
+#include "phy/sampler.h"
+
+namespace libra::mac {
+namespace {
+
+// ---------- timing ----------
+
+TEST(Timing, TdmaFrameStructure) {
+  const TdmaConfig tdma;
+  EXPECT_DOUBLE_EQ(tdma.frame_ms, 10.0);
+  EXPECT_EQ(tdma.codewords_per_frame(), 9200);
+  EXPECT_NEAR(tdma.slots_per_frame * tdma.slot_us / 1000.0, tdma.frame_ms,
+              1e-9);
+}
+
+TEST(Timing, WorstCaseDelayFormula) {
+  // Dmax = N*FAT + dBA + N*FAT (Sec. 5.2).
+  EXPECT_DOUBLE_EQ(worst_case_delay_ms(9, 10.0, 5.0), 185.0);
+  EXPECT_DOUBLE_EQ(worst_case_delay_ms(9, 2.0, 250.0), 286.0);
+}
+
+TEST(Timing, AlphaFollowsBaOverhead) {
+  // Sec. 8.1: alpha = 0.7 for cheap BA, 0.5 for expensive BA.
+  EXPECT_DOUBLE_EQ(alpha_for_ba_overhead(0.5), 0.7);
+  EXPECT_DOUBLE_EQ(alpha_for_ba_overhead(5.0), 0.7);
+  EXPECT_DOUBLE_EQ(alpha_for_ba_overhead(150.0), 0.5);
+  EXPECT_DOUBLE_EQ(alpha_for_ba_overhead(250.0), 0.5);
+}
+
+TEST(Timing, PaperParameterGrids) {
+  EXPECT_EQ(std::size(kBaOverheadsMs), 4u);
+  EXPECT_EQ(std::size(kFatsMs), 2u);
+}
+
+// ---------- beacon-interval / SSW timing ----------
+
+TEST(BeaconInterval, SectorsForBeamwidth) {
+  EXPECT_EQ(sectors_for_beamwidth(360.0, 30.0), 12);
+  EXPECT_EQ(sectors_for_beamwidth(360.0, 7.0), 52);  // ceil(51.4)
+  EXPECT_EQ(sectors_for_beamwidth(120.0, 5.0), 24);
+  EXPECT_THROW(sectors_for_beamwidth(360.0, 0.0), std::invalid_argument);
+}
+
+TEST(BeaconInterval, SlsDurationScalesLinearly) {
+  const double d12 = sls_duration_ms(12);
+  const double d24 = sls_duration_ms(24);
+  EXPECT_GT(d24, 1.8 * d12);
+  EXPECT_LT(d24, 2.2 * d12);
+  EXPECT_THROW(sls_duration_ms(0), std::invalid_argument);
+}
+
+TEST(BeaconInterval, FullSlsCoversBothSides) {
+  EXPECT_GT(full_sls_duration_ms(12, 12), sls_duration_ms(12));
+  // Sec. 8.1 anchor: 30-degree beams (12 sectors over 360) land near the
+  // paper's 0.5 ms; 3-degree beams near 5 ms.
+  EXPECT_NEAR(full_sls_duration_ms(12, 12), 0.5, 0.15);
+  EXPECT_NEAR(full_sls_duration_ms(120, 120), 5.0, 1.2);
+}
+
+TEST(BeaconInterval, ExhaustiveScalesQuadratically) {
+  const double d10 = exhaustive_duration_ms(10, 10);
+  const double d20 = exhaustive_duration_ms(20, 20);
+  EXPECT_GT(d20, 3.5 * d10);
+  EXPECT_LT(d20, 4.5 * d10);
+}
+
+TEST(BeaconInterval, AbftContention) {
+  EXPECT_DOUBLE_EQ(expected_abft_intervals(1), 1.0);
+  // More contenders => more expected beacon intervals, monotonically.
+  double prev = 1.0;
+  for (int n = 2; n <= 16; ++n) {
+    const double e = expected_abft_intervals(n);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+  EXPECT_THROW(expected_abft_intervals(0), std::invalid_argument);
+}
+
+// ---------- ACK model ----------
+
+TEST(AckModel, HighSnrAlwaysAcks) {
+  const phy::McsTable t;
+  const phy::ErrorModel em(&t);
+  const AckModel ack(&em);
+  EXPECT_NEAR(ack.ack_probability(0, 30.0), 1.0, 1e-9);
+}
+
+TEST(AckModel, DeepFadeLosesAck) {
+  const phy::McsTable t;
+  const phy::ErrorModel em(&t);
+  const AckModel ack(&em);
+  EXPECT_LT(ack.ack_probability(8, 0.0), 0.01);
+}
+
+TEST(AckModel, MoreSubframesMoreRobust) {
+  const phy::McsTable t;
+  const phy::ErrorModel em(&t);
+  const AckModel few(&em, {4});
+  const AckModel many(&em, {64});
+  const double snr = t.entry(4).snr_threshold_db - 1.0;
+  EXPECT_GT(many.ack_probability(4, snr), few.ack_probability(4, snr));
+}
+
+TEST(AckModel, InvalidConfigThrows) {
+  const phy::McsTable t;
+  const phy::ErrorModel em(&t);
+  EXPECT_THROW(AckModel(nullptr), std::invalid_argument);
+  EXPECT_THROW(AckModel(&em, {0}), std::invalid_argument);
+}
+
+// ---------- CSMA / hidden terminal ----------
+
+TEST(Csma, UnthrottledDutyScalesWithLoad) {
+  EXPECT_DOUBLE_EQ(unthrottled_duty(0.0), 0.0);
+  EXPECT_GT(unthrottled_duty(1.0), 0.95);  // airtime dominates contention
+  EXPECT_NEAR(unthrottled_duty(0.5), 0.5 * unthrottled_duty(1.0), 1e-12);
+  EXPECT_THROW(unthrottled_duty(1.5), std::invalid_argument);
+}
+
+TEST(Csma, SensingSerializesInterference) {
+  EXPECT_DOUBLE_EQ(interference_duty(true, 0.8), 0.0);
+  EXPECT_GT(interference_duty(false, 0.8), 0.7);
+}
+
+TEST(Csma, DirectionalDeafnessCreatesHiddenTerminal) {
+  // Victim Tx and an interferer in a box; the interferer listens quasi-omni.
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+  env::Environment box("box", env::rectangle_walls(20, 10, 8, 8, 8, 8));
+  array::Codebook codebook;
+  array::PhasedArray victim_tx({2, 5}, 0.0, &codebook);
+  array::PhasedArray interferer({18, 5}, 180.0, &codebook);
+  channel::Link towards(&box, &victim_tx, &interferer);
+  // The victim beams straight at the interferer: easily sensed.
+  EXPECT_TRUE(can_sense(towards, 12, array::kQuasiOmni));
+  // The victim beams 60 degrees away: only side lobes reach the
+  // interferer and sensing fails -> hidden terminal.
+  EXPECT_FALSE(can_sense(towards, 0, array::kQuasiOmni));
+}
+
+TEST(Csma, DutyCoversTheDatasetLevels) {
+  // The three calibrated interference levels (20/50/80% throughput drop)
+  // correspond to offered loads ~0.2/0.5/0.8 of a deaf interferer.
+  for (double load : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(interference_duty(false, load), load, 0.03);
+  }
+}
+
+// ---------- beam training ----------
+
+struct TrainerFixture : ::testing::Test {
+  TrainerFixture()
+      : em(&table),
+        environment("box", env::rectangle_walls(20, 10, 8, 8, 8, 8)),
+        tx({2, 5}, 0.0, &codebook),
+        rx({18, 5}, 180.0, &codebook),
+        link(&environment, &tx, &rx),
+        sampler(&em, low_noise()) {}
+
+  static phy::SamplerConfig low_noise() {
+    phy::SamplerConfig cfg;
+    cfg.snr_jitter_db = 0.01;  // near-noiseless probes for determinism
+    return cfg;
+  }
+
+  phy::McsTable table;
+  phy::ErrorModel em;
+  array::Codebook codebook;
+  env::Environment environment;
+  array::PhasedArray tx;
+  array::PhasedArray rx;
+  channel::Link link;
+  phy::PhySampler sampler;
+};
+
+TEST_F(TrainerFixture, ExhaustiveFindsAlignedPair) {
+  const BeamTrainer trainer;
+  util::Rng rng(1);
+  const SweepResult r = trainer.exhaustive(link, sampler, rng);
+  // The Tx looks straight at the Rx (beam 12 steers 0 degrees) and vice
+  // versa; allow one beam of slack for side-lobe quirks.
+  EXPECT_NEAR(r.tx_beam, 12, 1);
+  EXPECT_NEAR(r.rx_beam, 12, 1);
+  EXPECT_EQ(r.measurements, 625);
+  EXPECT_NEAR(r.snr_db, link.snr_db(r.tx_beam, r.rx_beam), 0.5);
+}
+
+TEST_F(TrainerFixture, SlsMeasuresTwoSweeps) {
+  const BeamTrainer trainer;
+  util::Rng rng(2);
+  const SweepResult r = trainer.sls_80211ad(link, sampler, rng);
+  EXPECT_EQ(r.measurements, 50);
+  EXPECT_NEAR(r.tx_beam, 12, 1);
+  EXPECT_NEAR(r.rx_beam, 12, 1);
+}
+
+TEST_F(TrainerFixture, TxOnlySweepUsesQuasiOmni) {
+  const BeamTrainer trainer;
+  util::Rng rng(3);
+  const SweepResult r = trainer.sls_tx_only(link, sampler, rng);
+  EXPECT_EQ(r.measurements, 25);
+  EXPECT_EQ(r.rx_beam, array::kQuasiOmni);
+  EXPECT_NEAR(r.tx_beam, 12, 1);
+}
+
+TEST_F(TrainerFixture, SweepDurationsScaleWithProbes) {
+  const BeamTrainer trainer({20.0});
+  util::Rng rng(4);
+  const auto exhaustive = trainer.exhaustive(link, sampler, rng);
+  const auto sls = trainer.sls_80211ad(link, sampler, rng);
+  const auto tx_only = trainer.sls_tx_only(link, sampler, rng);
+  EXPECT_DOUBLE_EQ(exhaustive.duration_ms, 625 * 0.02);
+  EXPECT_DOUBLE_EQ(sls.duration_ms, 50 * 0.02);
+  EXPECT_DOUBLE_EQ(tx_only.duration_ms, 25 * 0.02);
+  // The complexity ordering of Sec. 2: O(N^2) >> O(N) > O(N)/2.
+  EXPECT_GT(exhaustive.duration_ms, sls.duration_ms);
+  EXPECT_GT(sls.duration_ms, tx_only.duration_ms);
+}
+
+TEST_F(TrainerFixture, ExhaustiveAtLeastAsGoodAsSls) {
+  const BeamTrainer trainer;
+  util::Rng rng(5);
+  const auto exhaustive = trainer.exhaustive(link, sampler, rng);
+  const auto sls = trainer.sls_80211ad(link, sampler, rng);
+  EXPECT_GE(link.snr_db(exhaustive.tx_beam, exhaustive.rx_beam) + 0.2,
+            link.snr_db(sls.tx_beam, sls.rx_beam));
+}
+
+TEST_F(TrainerFixture, CoarseFineNearExhaustiveQuality) {
+  const BeamTrainer trainer;
+  util::Rng rng(7);
+  const auto exhaustive = trainer.exhaustive(link, sampler, rng);
+  const auto cf = trainer.coarse_fine(link, sampler, rng);
+  // 12x fewer probes, within a fraction of a dB of the optimum.
+  EXPECT_LE(cf.measurements, 55);
+  EXPECT_GE(link.snr_db(cf.tx_beam, cf.rx_beam) + 0.8,
+            link.snr_db(exhaustive.tx_beam, exhaustive.rx_beam));
+}
+
+TEST_F(TrainerFixture, CoarseFineProbeBudget) {
+  const BeamTrainer trainer;
+  util::Rng rng(8);
+  // stride 5 -> 5x5 coarse; radius 2 -> up to 5x5 refine minus the center.
+  const auto r = trainer.coarse_fine(link, sampler, rng, 5, 2);
+  EXPECT_EQ(r.measurements, 25 + 24);
+  // A wider stride shrinks the coarse level.
+  const auto wide = trainer.coarse_fine(link, sampler, rng, 12, 1);
+  EXPECT_LT(wide.measurements, r.measurements);
+}
+
+TEST_F(TrainerFixture, SweepTracksRotatedRx) {
+  // Rotate the Rx by 45 degrees: the best Rx beam moves off center.
+  rx.set_boresight_deg(135.0);
+  link.refresh();
+  const BeamTrainer trainer;
+  util::Rng rng(6);
+  const SweepResult r = trainer.exhaustive(link, sampler, rng);
+  // The Tx->Rx arrival is at world 180; array frame 180-135=45 -> beam 21.
+  EXPECT_NEAR(r.rx_beam, 21, 1);
+}
+
+}  // namespace
+}  // namespace libra::mac

@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/neural_net.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "util/stats.h"
+
+namespace libra::ml {
+namespace {
+
+// Two well-separated Gaussian blobs (trivially separable).
+DataSet blobs(int n_per_class, util::Rng& rng, double separation = 6.0) {
+  DataSet d(2);
+  for (int i = 0; i < n_per_class; ++i) {
+    d.add(std::vector<double>{rng.gaussian(0, 1), rng.gaussian(0, 1)}, 0);
+    d.add(std::vector<double>{rng.gaussian(separation, 1),
+                              rng.gaussian(separation, 1)},
+          1);
+  }
+  return d;
+}
+
+// XOR pattern: not linearly separable.
+DataSet xor_data(int n_per_quadrant, util::Rng& rng) {
+  DataSet d(2);
+  for (int i = 0; i < n_per_quadrant; ++i) {
+    for (int sx : {-1, 1}) {
+      for (int sy : {-1, 1}) {
+        const double x = sx * (1.0 + rng.uniform(0, 1));
+        const double y = sy * (1.0 + rng.uniform(0, 1));
+        d.add(std::vector<double>{x, y}, sx * sy > 0 ? 1 : 0);
+      }
+    }
+  }
+  return d;
+}
+
+double holdout_accuracy(Classifier& model, const DataSet& train,
+                        const DataSet& test, util::Rng& rng) {
+  model.fit(train, rng);
+  return accuracy(test.labels(), model.predict_all(test));
+}
+
+// ---------- DataSet ----------
+
+TEST(DataSet, AddAndAccess) {
+  DataSet d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 0);
+  d.add(std::vector<double>{3.0, 4.0}, 1);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_EQ(d.label(1), 1);
+  EXPECT_EQ(d.num_classes(), 2);
+}
+
+TEST(DataSet, InconsistentDimensionThrows) {
+  DataSet d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 0);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0), std::invalid_argument);
+}
+
+TEST(DataSet, Subset) {
+  DataSet d(1);
+  for (int i = 0; i < 5; ++i) d.add(std::vector<double>{double(i)}, i % 2);
+  const std::vector<std::size_t> idx{0, 2, 4};
+  const DataSet s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.row(1)[0], 2.0);
+}
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  DataSet d(2);
+  util::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    d.add(std::vector<double>{rng.gaussian(5, 3), rng.gaussian(-2, 0.5)}, 0);
+  }
+  Standardizer s;
+  s.fit(d);
+  const DataSet z = s.transform(d);
+  util::RunningStats col0, col1;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    col0.add(z.row(i)[0]);
+    col1.add(z.row(i)[1]);
+  }
+  EXPECT_NEAR(col0.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(col0.stddev(), 1.0, 1e-9);
+  EXPECT_NEAR(col1.mean(), 0.0, 1e-9);
+}
+
+TEST(Standardizer, ConstantFeatureSafe) {
+  DataSet d(1);
+  d.add(std::vector<double>{7.0}, 0);
+  d.add(std::vector<double>{7.0}, 1);
+  Standardizer s;
+  s.fit(d);
+  const auto z = s.transform_row(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+TEST(StratifiedKfold, PreservesClassBalance) {
+  DataSet d(1);
+  for (int i = 0; i < 100; ++i) d.add(std::vector<double>{double(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, 1);
+  util::Rng rng(3);
+  const auto splits = stratified_kfold(d, 5, rng);
+  ASSERT_EQ(splits.size(), 5u);
+  for (const FoldSplit& split : splits) {
+    EXPECT_EQ(split.train.size() + split.test.size(), 120u);
+    int test_minority = 0;
+    for (std::size_t i : split.test) test_minority += d.label(i) == 1;
+    EXPECT_EQ(test_minority, 4);  // 20 / 5 folds
+  }
+}
+
+TEST(StratifiedKfold, FoldsPartitionData) {
+  DataSet d(1);
+  for (int i = 0; i < 30; ++i) d.add(std::vector<double>{double(i)}, i % 3);
+  util::Rng rng(3);
+  const auto splits = stratified_kfold(d, 3, rng);
+  std::vector<int> seen(30, 0);
+  for (const auto& split : splits) {
+    for (std::size_t i : split.test) ++seen[i];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(StratifiedKfold, InvalidKThrows) {
+  DataSet d(1);
+  d.add(std::vector<double>{0.0}, 0);
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_kfold(d, 1, rng), std::invalid_argument);
+}
+
+// ---------- decision tree ----------
+
+TEST(DecisionTree, SeparableBlobsPerfect) {
+  util::Rng rng(1);
+  const DataSet train = blobs(100, rng);
+  const DataSet test = blobs(50, rng);
+  DecisionTree dt;
+  EXPECT_GT(holdout_accuracy(dt, train, test, rng), 0.95);
+}
+
+TEST(DecisionTree, SolvesXor) {
+  util::Rng rng(2);
+  const DataSet train = xor_data(50, rng);
+  const DataSet test = xor_data(25, rng);
+  DecisionTree dt;
+  EXPECT_GT(holdout_accuracy(dt, train, test, rng), 0.95);
+}
+
+TEST(DecisionTree, DepthCapRespected) {
+  util::Rng rng(3);
+  const DataSet train = xor_data(50, rng);
+  DecisionTreeConfig cfg;
+  cfg.max_depth = 2;
+  DecisionTree dt(cfg);
+  dt.fit(train, rng);
+  EXPECT_LE(dt.depth(), 3);  // root + 2 levels
+}
+
+TEST(DecisionTree, EntropyImpurityAlsoWorks) {
+  util::Rng rng(4);
+  const DataSet train = blobs(100, rng);
+  const DataSet test = blobs(50, rng);
+  DecisionTreeConfig cfg;
+  cfg.impurity = Impurity::kEntropy;
+  DecisionTree dt(cfg);
+  EXPECT_GT(holdout_accuracy(dt, train, test, rng), 0.98);
+}
+
+TEST(DecisionTree, ImportancesSumToOne) {
+  util::Rng rng(5);
+  const DataSet train = xor_data(50, rng);
+  DecisionTree dt;
+  dt.fit(train, rng);
+  double sum = 0.0;
+  for (double i : dt.feature_importances()) sum += i;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, IrrelevantFeatureGetsLowImportance) {
+  util::Rng rng(6);
+  DataSet d(2);
+  for (int i = 0; i < 400; ++i) {
+    const int y = rng.bernoulli(0.5) ? 1 : 0;
+    // Feature 0 decides the class; feature 1 is pure noise.
+    d.add(std::vector<double>{y * 4.0 + rng.gaussian(0, 0.5),
+                              rng.gaussian(0, 1)},
+          y);
+  }
+  DecisionTree dt;
+  dt.fit(d, rng);
+  EXPECT_GT(dt.feature_importances()[0], 0.9);
+  EXPECT_LT(dt.feature_importances()[1], 0.1);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf) {
+  DataSet d(1);
+  for (int i = 0; i < 10; ++i) d.add(std::vector<double>{double(i)}, 0);
+  util::Rng rng(7);
+  DecisionTree dt;
+  dt.fit(d, rng);
+  EXPECT_EQ(dt.node_count(), 1);
+  EXPECT_EQ(dt.predict(std::vector<double>{3.0}), 0);
+}
+
+TEST(DecisionTree, PredictBeforeFitReturnsDefault) {
+  DecisionTree dt;
+  EXPECT_EQ(dt.predict(std::vector<double>{0.0}), 0);
+}
+
+TEST(DecisionTree, MulticlassSupport) {
+  util::Rng rng(8);
+  DataSet d(1);
+  for (int i = 0; i < 300; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    d.add(std::vector<double>{y * 3.0 + rng.gaussian(0, 0.4)}, y);
+  }
+  DecisionTree dt;
+  dt.fit(d, rng);
+  EXPECT_EQ(dt.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(dt.predict(std::vector<double>{3.0}), 1);
+  EXPECT_EQ(dt.predict(std::vector<double>{6.0}), 2);
+}
+
+// ---------- random forest ----------
+
+TEST(RandomForest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  util::Rng rng(9);
+  DataSet train(4), test(4);
+  auto gen = [&](DataSet& d, int n) {
+    for (int i = 0; i < n; ++i) {
+      const int y = rng.bernoulli(0.5) ? 1 : 0;
+      // Weak signal spread over several features + noise.
+      std::vector<double> x(4);
+      for (auto& v : x) v = y * 0.8 + rng.gaussian(0, 1.0);
+      d.add(x, y);
+    }
+  };
+  gen(train, 400);
+  gen(test, 400);
+  DecisionTree dt;
+  RandomForest rf;
+  const double acc_dt = holdout_accuracy(dt, train, test, rng);
+  const double acc_rf = holdout_accuracy(rf, train, test, rng);
+  EXPECT_GE(acc_rf + 0.02, acc_dt);
+  EXPECT_GT(acc_rf, 0.7);
+}
+
+TEST(RandomForest, ImportancesNormalized) {
+  util::Rng rng(10);
+  const DataSet train = xor_data(50, rng);
+  RandomForest rf;
+  rf.fit(train, rng);
+  double sum = 0.0;
+  for (double i : rf.feature_importances()) sum += i;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(rf.trees().size(), 60u);
+}
+
+TEST(RandomForest, ConfigurableTreeCount) {
+  RandomForestConfig cfg;
+  cfg.num_trees = 7;
+  RandomForest rf(cfg);
+  util::Rng rng(11);
+  rf.fit(blobs(30, rng), rng);
+  EXPECT_EQ(rf.trees().size(), 7u);
+}
+
+TEST(RandomForest, MajorityVoteMulticlass) {
+  util::Rng rng(12);
+  DataSet d(1);
+  for (int i = 0; i < 300; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    d.add(std::vector<double>{y * 3.0 + rng.gaussian(0, 0.4)}, y);
+  }
+  RandomForest rf;
+  rf.fit(d, rng);
+  EXPECT_EQ(rf.predict(std::vector<double>{6.0}), 2);
+}
+
+// ---------- SVM ----------
+
+TEST(Svm, LinearKernelOnSeparableBlobs) {
+  util::Rng rng(13);
+  const DataSet train = blobs(80, rng);
+  const DataSet test = blobs(40, rng);
+  SvmConfig cfg;
+  cfg.kernel = Kernel::kLinear;
+  Svm svm(cfg);
+  EXPECT_GT(holdout_accuracy(svm, train, test, rng), 0.97);
+}
+
+TEST(Svm, RbfKernelSolvesXor) {
+  util::Rng rng(14);
+  const DataSet train = xor_data(60, rng);
+  const DataSet test = xor_data(30, rng);
+  Svm svm;
+  EXPECT_GT(holdout_accuracy(svm, train, test, rng), 0.9);
+}
+
+TEST(Svm, LinearKernelFailsXor) {
+  util::Rng rng(15);
+  const DataSet train = xor_data(60, rng);
+  const DataSet test = xor_data(30, rng);
+  SvmConfig cfg;
+  cfg.kernel = Kernel::kLinear;
+  Svm svm(cfg);
+  EXPECT_LT(holdout_accuracy(svm, train, test, rng), 0.75);
+}
+
+TEST(Svm, MulticlassOneVsRest) {
+  util::Rng rng(16);
+  DataSet d(2);
+  for (int i = 0; i < 200; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    d.add(std::vector<double>{y * 5.0 + rng.gaussian(0, 0.5),
+                              rng.gaussian(0, 0.5)},
+          y);
+  }
+  Svm svm;
+  svm.fit(d, rng);
+  EXPECT_EQ(svm.predict(std::vector<double>{0.0, 0.0}), 0);
+  EXPECT_EQ(svm.predict(std::vector<double>{5.0, 0.0}), 1);
+  EXPECT_EQ(svm.predict(std::vector<double>{10.0, 0.0}), 2);
+}
+
+TEST(BinarySvm, BadInputThrows) {
+  BinarySvm svm;
+  DataSet empty(2);
+  util::Rng rng(1);
+  EXPECT_THROW(svm.fit(empty, {}, rng), std::invalid_argument);
+}
+
+// ---------- neural net ----------
+
+TEST(NeuralNet, SolvesBlobs) {
+  util::Rng rng(17);
+  const DataSet train = blobs(80, rng);
+  const DataSet test = blobs(40, rng);
+  NeuralNetConfig cfg;
+  cfg.epochs = 80;
+  NeuralNet nn(cfg);
+  EXPECT_GT(holdout_accuracy(nn, train, test, rng), 0.97);
+}
+
+TEST(NeuralNet, SolvesXor) {
+  util::Rng rng(18);
+  const DataSet train = xor_data(80, rng);
+  const DataSet test = xor_data(40, rng);
+  NeuralNetConfig cfg;
+  cfg.epochs = 250;
+  cfg.dropout = 0.05;
+  NeuralNet nn(cfg);
+  EXPECT_GT(holdout_accuracy(nn, train, test, rng), 0.9);
+}
+
+TEST(NeuralNet, ProbabilitiesSumToOne) {
+  util::Rng rng(19);
+  const DataSet train = blobs(50, rng);
+  NeuralNetConfig cfg;
+  cfg.epochs = 20;
+  NeuralNet nn(cfg);
+  nn.fit(train, rng);
+  const auto p = nn.predict_proba(train.row(0));
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GE(p[0], 0.0);
+  EXPECT_GE(p[1], 0.0);
+}
+
+TEST(NeuralNet, MulticlassSoftmax) {
+  util::Rng rng(20);
+  DataSet d(1);
+  for (int i = 0; i < 400; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    d.add(std::vector<double>{y * 4.0 + rng.gaussian(0, 0.4)}, y);
+  }
+  NeuralNetConfig cfg;
+  cfg.epochs = 120;
+  NeuralNet nn(cfg);
+  nn.fit(d, rng);
+  EXPECT_EQ(nn.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(nn.predict(std::vector<double>{8.0}), 2);
+}
+
+// ---------- metrics ----------
+
+TEST(Metrics, AccuracyBasic) {
+  const std::vector<Label> t{0, 1, 1, 0};
+  const std::vector<Label> p{0, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(accuracy(t, p), 0.75);
+}
+
+TEST(Metrics, AccuracyThrowsOnMismatch) {
+  const std::vector<Label> t{0, 1};
+  const std::vector<Label> p{0};
+  EXPECT_THROW(accuracy(t, p), std::invalid_argument);
+}
+
+TEST(Metrics, ConfusionMatrix) {
+  const std::vector<Label> t{0, 0, 1, 1, 1};
+  const std::vector<Label> p{0, 1, 1, 1, 0};
+  const auto cm = confusion_matrix(t, p);
+  EXPECT_EQ(cm[0][0], 1);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][0], 1);
+  EXPECT_EQ(cm[1][1], 2);
+}
+
+TEST(Metrics, WeightedF1HandComputed) {
+  // class 0: support 2, tp=1, fp=1, fn=1 -> P=0.5 R=0.5 F1=0.5
+  // class 1: support 3, tp=2, fp=1, fn=1 -> P=2/3 R=2/3 F1=2/3
+  // weighted: 0.5*2/5 + (2/3)*3/5 = 0.2 + 0.4 = 0.6
+  const std::vector<Label> t{0, 0, 1, 1, 1};
+  const std::vector<Label> p{0, 1, 1, 1, 0};
+  EXPECT_NEAR(weighted_f1(t, p), 0.6, 1e-9);
+}
+
+TEST(Metrics, PerfectPredictionF1IsOne) {
+  const std::vector<Label> t{0, 1, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(weighted_f1(t, t), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(t, t), 1.0);
+}
+
+// ---------- cross validation ----------
+
+TEST(CrossValidation, HighAccuracyOnSeparableData) {
+  util::Rng rng(21);
+  const DataSet d = blobs(60, rng);
+  const auto result = cross_validate(
+      d, [] { return std::make_unique<DecisionTree>(); }, 5, 2, rng);
+  EXPECT_GT(result.accuracy, 0.97);
+  EXPECT_GT(result.weighted_f1, 0.97);
+  EXPECT_EQ(result.folds, 5);
+  EXPECT_EQ(result.repeats, 2);
+}
+
+TEST(CrossValidation, TrainTestSeparation) {
+  util::Rng rng(22);
+  const DataSet train = blobs(60, rng);
+  // Shifted test distribution: accuracy degrades but stays above chance.
+  DataSet test(2);
+  for (int i = 0; i < 50; ++i) {
+    test.add(std::vector<double>{rng.gaussian(1, 1), rng.gaussian(1, 1)}, 0);
+    test.add(std::vector<double>{rng.gaussian(5, 1), rng.gaussian(5, 1)}, 1);
+  }
+  const auto result = train_test(
+      train, test, [] { return std::make_unique<DecisionTree>(); }, rng);
+  EXPECT_GT(result.accuracy, 0.6);
+}
+
+}  // namespace
+}  // namespace libra::ml

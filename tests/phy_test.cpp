@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/link.h"
+#include "env/registry.h"
+#include "phy/error_model.h"
+#include "phy/mcs.h"
+#include "phy/pdp.h"
+#include "phy/sampler.h"
+#include "util/units.h"
+
+namespace libra::phy {
+namespace {
+
+// ---------- MCS table ----------
+
+TEST(McsTable, DefaultHasNineEntries) {
+  const McsTable t;
+  EXPECT_EQ(t.size(), 9);
+  EXPECT_DOUBLE_EQ(t.rate_mbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(t.max_rate_mbps(), 4750.0);
+}
+
+TEST(McsTable, RatesAndThresholdsMonotonic) {
+  const McsTable t;
+  for (int m = 1; m < t.size(); ++m) {
+    EXPECT_GT(t.rate_mbps(m), t.rate_mbps(m - 1));
+    EXPECT_GT(t.entry(m).snr_threshold_db, t.entry(m - 1).snr_threshold_db);
+  }
+}
+
+TEST(McsTable, HighestSupported) {
+  const McsTable t;
+  EXPECT_EQ(t.highest_supported(-10.0), -1);
+  EXPECT_EQ(t.highest_supported(3.0), 0);
+  EXPECT_EQ(t.highest_supported(100.0), 8);
+  EXPECT_EQ(t.highest_supported(t.entry(4).snr_threshold_db), 4);
+}
+
+TEST(McsTable, OutOfRangeThrows) {
+  const McsTable t;
+  EXPECT_THROW(t.entry(-1), std::out_of_range);
+  EXPECT_THROW(t.entry(9), std::out_of_range);
+}
+
+TEST(McsTable, EmptyTableThrows) {
+  EXPECT_THROW(McsTable(std::vector<McsEntry>{}), std::invalid_argument);
+}
+
+TEST(McsTable, Ieee80211adTable) {
+  const McsTable t = ieee80211ad_sc_table();
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_DOUBLE_EQ(t.rate_mbps(0), 385.0);
+  EXPECT_DOUBLE_EQ(t.max_rate_mbps(), 4620.0);
+}
+
+TEST(McsTable, CodewordSizesInX60Range) {
+  const McsTable t;
+  for (const auto& e : t.entries()) {
+    EXPECT_GE(e.codeword_bytes, 180);
+    EXPECT_LE(e.codeword_bytes, 1080);
+  }
+}
+
+// ---------- error model ----------
+
+TEST(ErrorModel, HalfSuccessAtThreshold) {
+  const McsTable t;
+  const ErrorModel em(&t);
+  for (int m = 0; m < t.size(); ++m) {
+    EXPECT_NEAR(em.codeword_success_prob(m, t.entry(m).snr_threshold_db), 0.5,
+                1e-9);
+  }
+}
+
+TEST(ErrorModel, NinetyPercentAtOneWidthAbove) {
+  const McsTable t;
+  ErrorModelConfig cfg;
+  const ErrorModel em(&t, cfg);
+  EXPECT_NEAR(em.codeword_success_prob(
+                  0, t.entry(0).snr_threshold_db + cfg.waterfall_width_db),
+              0.9, 1e-6);
+}
+
+TEST(ErrorModel, MonotonicInSnr) {
+  const McsTable t;
+  const ErrorModel em(&t);
+  double prev = 0.0;
+  for (double snr = -10.0; snr < 40.0; snr += 0.5) {
+    const double p = em.codeword_success_prob(4, snr);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ErrorModel, ThroughputCapsAtFramingEfficiency) {
+  const McsTable t;
+  const ErrorModel em(&t);
+  const double tput = em.expected_throughput_mbps(8, 100.0);
+  EXPECT_NEAR(tput, 4750.0 * em.config().framing_efficiency, 1e-6);
+}
+
+TEST(ErrorModel, LowerMcsWinsBelowThreshold) {
+  const McsTable t;
+  const ErrorModel em(&t);
+  // 1 dB below MCS 5's threshold, MCS 4 out-delivers MCS 5.
+  const double snr = t.entry(5).snr_threshold_db - 1.0;
+  EXPECT_GT(em.expected_throughput_mbps(4, snr),
+            em.expected_throughput_mbps(5, snr));
+}
+
+TEST(ErrorModel, InvalidConfigThrows) {
+  const McsTable t;
+  EXPECT_THROW(ErrorModel(nullptr), std::invalid_argument);
+  ErrorModelConfig bad;
+  bad.waterfall_width_db = 0.0;
+  EXPECT_THROW(ErrorModel(&t, bad), std::invalid_argument);
+}
+
+class McsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(McsSweep, ThroughputUnimodalOverLadder) {
+  // At any SNR, expected throughput as a function of MCS rises then falls:
+  // there is a single best MCS (what RA searches for).
+  const McsTable t;
+  const ErrorModel em(&t);
+  const double snr = 2.0 + GetParam() * 3.0;
+  int direction_changes = 0;
+  double prev = em.expected_throughput_mbps(0, snr);
+  bool rising = true;
+  for (int m = 1; m < t.size(); ++m) {
+    const double cur = em.expected_throughput_mbps(m, snr);
+    if (rising && cur < prev) {
+      rising = false;
+      ++direction_changes;
+    } else if (!rising && cur > prev + 1e-9) {
+      ++direction_changes;
+    }
+    prev = cur;
+  }
+  EXPECT_LE(direction_changes, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrGrid, McsSweep, ::testing::Range(0, 10));
+
+// ---------- PDP ----------
+
+TEST(Pdp, TapsAtPathDelays) {
+  std::vector<channel::PathContribution> contributions = {
+      {-50.0, 20.0, 0, 0, 0},
+      {-60.0, 45.0, 0, 0, 1},
+  };
+  PdpConfig cfg;
+  const auto pdp = synthesize_pdp(contributions, cfg);
+  ASSERT_EQ(static_cast<int>(pdp.size()), cfg.num_taps);
+  EXPECT_NEAR(pdp[20], util::dbm_to_mw(-50.0), util::dbm_to_mw(-50.0) * 0.01);
+  EXPECT_NEAR(pdp[45], util::dbm_to_mw(-60.0), util::dbm_to_mw(-60.0) * 0.01);
+  EXPECT_NEAR(pdp[100], cfg.noise_floor_mw, cfg.noise_floor_mw * 0.01);
+}
+
+TEST(Pdp, OutOfWindowPathsDropped) {
+  std::vector<channel::PathContribution> contributions = {
+      {-50.0, 1e6, 0, 0, 0},  // 1 ms delay: far outside the window
+  };
+  const auto pdp = synthesize_pdp(contributions, {});
+  for (double tap : pdp) EXPECT_LE(tap, 2e-12);
+}
+
+TEST(Pdp, CoincidentPathsAddPower) {
+  std::vector<channel::PathContribution> contributions = {
+      {-50.0, 20.0, 0, 0, 0},
+      {-50.0, 20.2, 0, 0, 1},  // same tap after rounding
+  };
+  const auto pdp = synthesize_pdp(contributions, {});
+  EXPECT_NEAR(pdp[20], 2.0 * util::dbm_to_mw(-50.0),
+              util::dbm_to_mw(-50.0) * 0.02);
+}
+
+TEST(Pdp, TofIsStrongestTap) {
+  std::vector<channel::PathContribution> contributions = {
+      {-55.0, 30.0, 0, 0, 0},
+      {-45.0, 60.0, 0, 0, 1},  // stronger, later
+  };
+  const auto pdp = synthesize_pdp(contributions, {});
+  const auto tof = time_of_flight_ns(pdp, {});
+  ASSERT_TRUE(tof.has_value());
+  EXPECT_DOUBLE_EQ(*tof, 60.0);
+}
+
+TEST(Pdp, TofInfinityWhenNoSignal) {
+  PdpConfig cfg;
+  cfg.noise_floor_mw = 1e-9;
+  std::vector<channel::PathContribution> weak = {{-95.0, 30.0, 0, 0, 0}};
+  const auto pdp = synthesize_pdp(weak, cfg);
+  EXPECT_FALSE(time_of_flight_ns(pdp, cfg).has_value());
+}
+
+TEST(Pdp, EmptyPdpHasNoTof) {
+  EXPECT_FALSE(time_of_flight_ns({}, {}).has_value());
+}
+
+TEST(Pdp, CsiHasHalfSpectrumSize) {
+  std::vector<double> pdp(256, 1e-12);
+  pdp[10] = 1e-6;
+  const auto csi = csi_from_pdp(pdp);
+  EXPECT_EQ(csi.size(), 128u);
+}
+
+// ---------- sampler ----------
+
+struct SamplerFixture : ::testing::Test {
+  SamplerFixture()
+      : em(&table),
+        environment("box", env::rectangle_walls(20, 10, 8, 8, 8, 8)),
+        tx({2, 5}, 0.0, &codebook),
+        rx({12, 5}, 180.0, &codebook),
+        link(&environment, &tx, &rx),
+        sampler(&em) {}
+
+  McsTable table;
+  ErrorModel em;
+  array::Codebook codebook;
+  env::Environment environment;
+  array::PhasedArray tx;
+  array::PhasedArray rx;
+  channel::Link link;
+  PhySampler sampler;
+};
+
+TEST_F(SamplerFixture, ObservationNearTruth) {
+  util::Rng rng(1);
+  const auto obs = sampler.observe(link, 12, 12, 4, rng);
+  EXPECT_NEAR(obs.snr_db, link.snr_db(12, 12), 2.0);
+  EXPECT_NEAR(obs.noise_dbm, link.noise_floor_dbm(12), 6.0);
+  EXPECT_TRUE(obs.tof_ns.has_value());
+  EXPECT_EQ(obs.mcs, 4);
+  EXPECT_GE(obs.cdr, 0.0);
+  EXPECT_LE(obs.cdr, 1.0);
+}
+
+TEST_F(SamplerFixture, ThroughputConsistentWithCdr) {
+  util::Rng rng(1);
+  const auto obs = sampler.observe(link, 12, 12, 3, rng);
+  EXPECT_NEAR(obs.throughput_mbps,
+              table.rate_mbps(3) * obs.cdr * em.config().framing_efficiency,
+              1e-9);
+}
+
+TEST_F(SamplerFixture, DeterministicUnderSameSeed) {
+  util::Rng rng1(5), rng2(5);
+  const auto a = sampler.observe(link, 12, 12, 4, rng1);
+  const auto b = sampler.observe(link, 12, 12, 4, rng2);
+  EXPECT_DOUBLE_EQ(a.snr_db, b.snr_db);
+  EXPECT_DOUBLE_EQ(a.cdr, b.cdr);
+  EXPECT_EQ(a.pdp, b.pdp);
+}
+
+TEST_F(SamplerFixture, TofMatchesLosDistance) {
+  util::Rng rng(2);
+  const auto obs = sampler.observe(link, 12, 12, 0, rng);
+  ASSERT_TRUE(obs.tof_ns.has_value());
+  EXPECT_NEAR(*obs.tof_ns, 10.0 / 0.299792458, 1.5);
+}
+
+TEST_F(SamplerFixture, MisalignedBeamsLoseTof) {
+  util::Rng rng(2);
+  // Rx beam pointing backwards: backlobe-only reception, SNR below the
+  // detection floor -> ToF reported as infinity (nullopt).
+  rx.set_boresight_deg(0.0);  // boresight away from Tx
+  link.refresh();
+  const auto obs = sampler.observe(link, 12, 24, 0, rng);
+  EXPECT_FALSE(obs.tof_ns.has_value());
+}
+
+TEST_F(SamplerFixture, BurstyInterferenceMixesCdr) {
+  util::Rng rng(3);
+  const auto clean = sampler.observe(link, 12, 12, 4, rng);
+  ASSERT_GT(clean.cdr, 0.95);
+  // Jamming interferer with 40% duty: expected CDR ~ 0.6 * clean.
+  link.set_interferer(channel::Interferer{{12, 1}, 60.0, 0.4});
+  util::Rng rng2(3);
+  const auto jammed = sampler.observe(link, 12, 12, 4, rng2);
+  EXPECT_NEAR(jammed.cdr, 0.6 * clean.cdr, 0.08);
+}
+
+TEST_F(SamplerFixture, SweepSnrAveragesDuty) {
+  util::Rng rng(4);
+  const double clean = link.snr_clean_db(12, 12);
+  link.set_interferer(channel::Interferer{{12, 1}, 60.0, 0.5});
+  const double jam = link.snr_db(12, 12);
+  const double measured = sampler.measure_snr_db(link, 12, 12, rng);
+  EXPECT_NEAR(measured, 0.5 * clean + 0.5 * jam, 2.0);
+}
+
+TEST(Sampler, NullErrorModelThrows) {
+  EXPECT_THROW(PhySampler(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libra::phy

@@ -1,0 +1,62 @@
+// Shared fixtures for the trace/core/sim tests: hand-built PairTraces and
+// CaseRecords with known ground truth, so labeling and simulation can be
+// checked against closed-form expectations.
+#pragma once
+
+#include <vector>
+
+#include "trace/collector.h"
+
+namespace libra::testing {
+
+inline constexpr int kNumMcs = 9;
+
+// A PairTrace where MCSs [0, highest_working] deliver their full rate and
+// everything above delivers nothing.
+inline trace::PairTrace make_trace(int highest_working,
+                                   double rate_scale = 1.0) {
+  const double rates[kNumMcs] = {300,  385,  770,  1155, 1540,
+                                 1925, 2310, 3080, 4750};
+  trace::PairTrace t;
+  t.tx_beam = 0;
+  t.rx_beam = 0;
+  t.snr_db = 10.0 + 2.0 * highest_working;
+  t.noise_dbm = -74.0;
+  t.tof_ns = 20.0;
+  t.pdp.assign(64, 1e-12);
+  t.pdp[20] = 1e-6;
+  t.csi.assign(32, 1.0);
+  t.throughput_mbps.resize(kNumMcs);
+  t.cdr.resize(kNumMcs);
+  for (int m = 0; m < kNumMcs; ++m) {
+    const bool works = m <= highest_working;
+    t.cdr[(std::size_t)m] = works ? 0.95 : 0.0;
+    t.throughput_mbps[(std::size_t)m] =
+        works ? rates[m] * 0.92 * rate_scale : 0.0;
+  }
+  return t;
+}
+
+// A case where the initial state supports MCS `init`, the impaired state
+// supports `after_ra` on the initial pair, `after_ba` on the new best pair,
+// and `after_failover` on the MOCA-style failover pair (defaults to the
+// new-best behavior). after_* = -1 means nothing works on that pair.
+inline trace::CaseRecord make_record(int init, int after_ra, int after_ba,
+                                     trace::Impairment imp =
+                                         trace::Impairment::kDisplacement,
+                                     int after_failover = -2) {
+  trace::CaseRecord rec;
+  rec.impairment = imp;
+  rec.env_name = "synthetic";
+  rec.position_id = "synthetic#0";
+  rec.init_best = make_trace(init);
+  rec.init_mcs = init;
+  rec.new_at_init_pair = make_trace(after_ra);
+  rec.new_best = make_trace(after_ba);
+  rec.init_failover = make_trace(init > 0 ? init - 1 : 0);
+  rec.new_at_failover =
+      make_trace(after_failover == -2 ? after_ba : after_failover);
+  return rec;
+}
+
+}  // namespace libra::testing

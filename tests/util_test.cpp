@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/fft.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace libra::util {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.uniform(0, 1) == b.uniform(0, 1);
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(7);
+  Rng fork1 = a.fork();
+  const double v1 = fork1.uniform(0, 1);
+
+  Rng b(7);
+  Rng fork2 = b.fork();
+  const double v2 = fork2.uniform(0, 1);
+  EXPECT_DOUBLE_EQ(v1, v2);
+}
+
+TEST(Rng, SuccessiveForksDiffer) {
+  Rng a(7);
+  Rng f1 = a.fork();
+  Rng f2 = a.fork();
+  EXPECT_NE(f1.uniform(0, 1), f2.uniform(0, 1));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+// ---------- EmpiricalCdf ----------
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.5);
+}
+
+TEST(EmpiricalCdf, QuantileClampsInput) {
+  EmpiricalCdf cdf({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(2.0), 2.0);
+}
+
+TEST(EmpiricalCdf, EmptyThrowsOnQuantile) {
+  EmpiricalCdf cdf({});
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_THROW(cdf.quantile(0.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  EmpiricalCdf cdf({5, 1, 1, 3, 2, 2, 2});
+  const auto curve = cdf.curve();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+    EXPECT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxplotSummary b = boxplot(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.q1, 3);
+  EXPECT_DOUBLE_EQ(b.q3, 7);
+  EXPECT_DOUBLE_EQ(b.mean, 5);
+  EXPECT_EQ(b.n, 9u);
+}
+
+TEST(Boxplot, EmptyIsZeroed) {
+  const BoxplotSummary b = boxplot({});
+  EXPECT_EQ(b.n, 0u);
+  EXPECT_EQ(b.median, 0.0);
+}
+
+TEST(Percentile, MatchesQuantile) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(median(v), 25);
+}
+
+// ---------- Pearson ----------
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideYieldsZero) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{5, 5, 5, 5};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesYieldZero) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 2};
+  EXPECT_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, InvariantToAffineTransform) {
+  std::vector<double> a{1, 5, 2, 8, 3};
+  std::vector<double> b{2, 3, 7, 1, 9};
+  const double r1 = pearson(a, b);
+  std::vector<double> a2;
+  for (double x : a) a2.push_back(3.0 * x + 10.0);
+  EXPECT_NEAR(pearson(a2, b), r1, 1e-12);
+}
+
+// ---------- FFT ----------
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, 0.0);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& x : data) {
+    EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+  }
+}
+
+TEST(Fft, RoundTripInverse) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 16; ++i) data.emplace_back(i * 0.5, -i * 0.25);
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, SinglebinSine) {
+  const int n = 64;
+  std::vector<std::complex<double>> data(n);
+  for (int i = 0; i < n; ++i) {
+    data[(std::size_t)i] = std::sin(2.0 * std::numbers::pi * 4.0 * i / n);
+  }
+  fft(data);
+  // Energy concentrated in bins 4 and 60.
+  EXPECT_NEAR(std::abs(data[4]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[60]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[5]), 0.0, 1e-9);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<std::complex<double>> data(6, 0.0);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data;
+  Rng rng(11);
+  for (int i = 0; i < 32; ++i) {
+    data.emplace_back(rng.gaussian(0, 1), rng.gaussian(0, 1));
+  }
+  double time_energy = 0.0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / data.size(), time_energy, 1e-9);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(129), 256u);
+}
+
+TEST(Fft, MagnitudeSpectrumPadsAndHalves) {
+  std::vector<double> sig(100, 0.0);
+  sig[0] = 1.0;
+  const auto mag = magnitude_spectrum(sig);
+  EXPECT_EQ(mag.size(), 64u);  // next_pow2(100)=128, half = 64
+  for (double m : mag) EXPECT_NEAR(m, 1.0, 1e-12);
+}
+
+TEST(Fft, MagnitudeSpectrumEmptyInput) {
+  EXPECT_TRUE(magnitude_spectrum({}).empty());
+}
+
+class FftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizes, RoundTripAtManySizes) {
+  const int n = GetParam();
+  std::vector<std::complex<double>> data((std::size_t)n);
+  Rng rng(n);
+  for (auto& x : data) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const auto original = data;
+  fft(data);
+  fft(data, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizes,
+                         ::testing::Values(1, 2, 4, 8, 32, 128, 512, 2048));
+
+// ---------- Units ----------
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, DbmAddition) {
+  // Two equal powers sum to +3 dB.
+  EXPECT_NEAR(dbm_add(0.0, 0.0), 3.0103, 1e-3);
+  // A much weaker signal barely contributes.
+  EXPECT_NEAR(dbm_add(0.0, -40.0), 0.0, 1e-3);
+}
+
+TEST(Units, Wavelength60GHz) {
+  EXPECT_NEAR(wavelength_m(), 0.00496, 1e-4);
+}
+
+TEST(Units, MbpsToBytesPerMs) {
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_ms(8.0), 1000.0);
+}
+
+// ---------- Table ----------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.to_csv(), "a,b,c\nonly,,\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table t({"label", "x", "y"});
+  t.add_row_numeric("row", {1.234, 5.678}, 1);
+  EXPECT_NE(t.to_csv().find("1.2"), std::string::npos);
+  EXPECT_NE(t.to_csv().find("5.7"), std::string::npos);
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace libra::util

@@ -1,0 +1,262 @@
+// libra — command-line front end for the LiBRA framework.
+//
+//   libra collect <out.ds> [--testing] [--seed N] [--frames N] [--no-na]
+//       Run the measurement campaign (training scenarios by default) and
+//       save the dataset.
+//   libra summarize <ds> [--alpha A]
+//       Print the Table-1 style summary of a saved dataset.
+//   libra train <ds> <out.forest> [--three-class] [--trees N] [--alpha A]
+//       Train a random forest on a saved dataset and save the model.
+//   libra eval <forest> <ds> [--three-class] [--alpha A]
+//       Evaluate a saved model on a saved dataset (accuracy, F1, confusion).
+//   libra export-csv <ds> [--alpha A]
+//       Dump the labeled feature matrix as CSV to stdout.
+//   libra simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] [--flow MS]
+//       Trace-driven comparison of all five strategies (Sec. 8 style).
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/classifier.h"
+#include "ml/metrics.h"
+#include "ml/model_io.h"
+#include "ml/random_forest.h"
+#include "phy/error_model.h"
+#include "sim/event_sim.h"
+#include "trace/io.h"
+#include "util/table.h"
+
+using namespace libra;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key [value]
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          args.options[key] = argv[++i];
+        } else {
+          args.options[key] = "";
+        }
+      } else {
+        args.positional.push_back(a);
+      }
+    }
+    return args;
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  bool flag(const std::string& key) const { return options.count(key) > 0; }
+};
+
+trace::GroundTruthConfig ground_truth_from(const Args& args) {
+  trace::GroundTruthConfig gt;
+  gt.alpha = args.number("alpha", 1.0);
+  gt.fat_ms = args.number("fat", 10.0);
+  gt.ba_overhead_ms = args.number("ba", 5.0);
+  return gt;
+}
+
+ml::DataSet to_ml(const std::vector<trace::LabeledEntry>& entries,
+                  bool three_class) {
+  ml::DataSet d(trace::FeatureVector::kDim);
+  for (const auto& e : entries) {
+    d.add(e.x.v, three_class
+                     ? core::LibraClassifier::to_label(e.y)
+                     : (e.y == trace::Action::kBA ? 0 : 1));
+  }
+  return d;
+}
+
+int cmd_collect(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: libra collect <out.ds> [--testing]\n");
+    return 2;
+  }
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+  trace::CollectOptions opt;
+  opt.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+  opt.collector.frames_per_trace =
+      static_cast<int>(args.number("frames", 100));
+  opt.with_na_augmentation = !args.flag("no-na");
+  const trace::ScenarioSet scenarios =
+      args.flag("testing") ? trace::testing_scenarios()
+                           : trace::training_scenarios();
+  std::printf("collecting %zu cases...\n", scenarios.cases.size());
+  const trace::Dataset ds = trace::collect_dataset(scenarios, em, opt);
+  trace::save_dataset_file(ds, args.positional[0]);
+  std::printf("saved %zu records (+%zu NA) to %s\n", ds.records.size(),
+              ds.na_records.size(), args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_summarize(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: libra summarize <ds>\n");
+    return 2;
+  }
+  const trace::Dataset ds = trace::load_dataset_file(args.positional[0]);
+  const auto s = trace::summarize(ds, ground_truth_from(args));
+  util::Table t({"impairment", "cases", "BA", "RA", "positions"});
+  const std::pair<const char*, const trace::DatasetSummaryRow*> rows[] = {
+      {"displacement", &s.displacement},
+      {"blockage", &s.blockage},
+      {"interference", &s.interference},
+      {"overall", &s.overall}};
+  for (const auto& [name, row] : rows) {
+    t.add_row({name, std::to_string(row->total), std::to_string(row->ba),
+               std::to_string(row->ra), std::to_string(row->positions)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: libra train <ds> <out.forest>\n");
+    return 2;
+  }
+  const trace::Dataset ds = trace::load_dataset_file(args.positional[0]);
+  const trace::GroundTruthConfig gt = ground_truth_from(args);
+  const bool three = args.flag("three-class");
+  const ml::DataSet data =
+      to_ml(three ? ds.labeled3(gt) : ds.labeled(gt), three);
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = static_cast<int>(args.number("trees", 60));
+  ml::RandomForest forest(cfg);
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  forest.fit(data, rng);
+  ml::save_forest_file(forest, args.positional[1]);
+  std::printf("trained %d-tree %s forest on %zu entries -> %s\n",
+              cfg.num_trees, three ? "3-class" : "2-class", data.size(),
+              args.positional[1].c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: libra eval <forest> <ds>\n");
+    return 2;
+  }
+  const ml::RandomForest forest =
+      ml::load_forest_file(args.positional[0]);
+  const trace::Dataset ds = trace::load_dataset_file(args.positional[1]);
+  const trace::GroundTruthConfig gt = ground_truth_from(args);
+  const bool three = args.flag("three-class");
+  const ml::DataSet data =
+      to_ml(three ? ds.labeled3(gt) : ds.labeled(gt), three);
+  const std::vector<ml::Label> pred = forest.predict_all(data);
+  std::printf("accuracy %.1f%%, weighted F1 %.1f%% on %zu entries\n",
+              100 * ml::accuracy(data.labels(), pred),
+              100 * ml::weighted_f1(data.labels(), pred), data.size());
+  const auto cm = ml::confusion_matrix(data.labels(), pred);
+  const char* names3[] = {"BA", "RA", "NA"};
+  const char* names2[] = {"BA", "RA"};
+  const char** names = three ? names3 : names2;
+  std::printf("confusion (rows=truth):\n");
+  for (std::size_t r = 0; r < cm.size(); ++r) {
+    std::printf("  %-3s", names[r]);
+    for (std::size_t c = 0; c < cm.size(); ++c) std::printf(" %5d", cm[r][c]);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_export_csv(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: libra export-csv <ds>\n");
+    return 2;
+  }
+  const trace::Dataset ds = trace::load_dataset_file(args.positional[0]);
+  trace::write_feature_csv(ds, ground_truth_from(args), std::cout);
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "usage: libra simulate <train.ds> <eval.ds>\n");
+    return 2;
+  }
+  const trace::Dataset train = trace::load_dataset_file(args.positional[0]);
+  const trace::Dataset eval = trace::load_dataset_file(args.positional[1]);
+  trace::GroundTruthConfig gt = ground_truth_from(args);
+  sim::EventParams params;
+  params.ba_overhead_ms = gt.ba_overhead_ms;
+  params.fat_ms = gt.fat_ms;
+  params.flow_ms = args.number("flow", 1000.0);
+  params.rule = gt;
+
+  util::Rng rng(static_cast<std::uint64_t>(args.number("seed", 1)));
+  core::LibraClassifier classifier;
+  classifier.train(train, gt, rng);
+  const sim::EventSimulator simulator(&classifier);
+
+  util::Table t({"strategy", "total MB", "avg recovery ms", "restored"});
+  for (core::Strategy s : core::kAllStrategies) {
+    double bytes = 0.0, delay = 0.0;
+    int broken = 0, restored = 0;
+    for (const trace::CaseRecord& rec : eval.records) {
+      const sim::EventResult r = simulator.run(rec, s, params, rng);
+      bytes += r.bytes_mb;
+      if (r.recovery_delay_ms > 0.0) {
+        ++broken;
+        delay += r.recovery_delay_ms;
+        restored += r.link_restored;
+      }
+    }
+    t.add_row({core::to_string(s), util::format_double(bytes, 1),
+               util::format_double(broken ? delay / broken : 0.0, 1),
+               std::to_string(restored) + "/" + std::to_string(broken)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "libra <command> ...\n"
+               "  collect <out.ds> [--testing] [--seed N] [--frames N]\n"
+               "  summarize <ds> [--alpha A]\n"
+               "  train <ds> <out.forest> [--three-class] [--trees N]\n"
+               "  eval <forest> <ds> [--three-class]\n"
+               "  export-csv <ds>\n"
+               "  simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] "
+               "[--flow MS]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv);
+  try {
+    if (cmd == "collect") return cmd_collect(args);
+    if (cmd == "summarize") return cmd_summarize(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "export-csv") return cmd_export_csv(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
