@@ -9,9 +9,11 @@
 #include "core/classifier.h"
 #include "env/registry.h"
 #include "mac/beam_training.h"
+#include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "util/thread_pool.h"
 #include "phy/error_model.h"
 #include "phy/pdp.h"
 #include "sim/event_sim.h"
@@ -92,16 +94,82 @@ void BM_FeatureExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureExtraction);
 
+// Arg = num_threads (1 = serial legacy path). The `bit_identical` counter
+// confirms the parallel forest matches the serial one exactly: same
+// per-tree Rng streams, same importances, same predictions.
 void BM_RandomForestTraining(benchmark::State& state) {
   auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  ml::RandomForest rf(cfg);  // outside the loop: the pool persists
   for (auto _ : state) {
-    ml::RandomForest rf;
     util::Rng rng(4);
     rf.fit(f.train_ds, rng);
     benchmark::DoNotOptimize(rf);
   }
+  ml::RandomForestConfig serial_cfg = cfg;
+  serial_cfg.num_threads = 1;
+  ml::RandomForest serial(serial_cfg);
+  util::Rng r1(4), r2(4);
+  serial.fit(f.train_ds, r1);
+  rf.fit(f.train_ds, r2);
+  state.counters["bit_identical"] =
+      serial.feature_importances() == rf.feature_importances() &&
+      serial.predict_batch(f.train_ds) == rf.predict_batch(f.train_ds);
 }
-BENCHMARK(BM_RandomForestTraining)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomForestTraining)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Repeated stratified 5-fold CV of a small forest, parallel across the
+// (repeat, fold) grid. Arg = num_threads for the CV pool.
+void BM_RepeatedCrossValidation(benchmark::State& state) {
+  auto& f = Fixture::get();
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  const ml::ClassifierFactory factory = [] {
+    ml::RandomForestConfig c;
+    c.num_trees = 20;
+    c.num_threads = 1;  // the CV grid supplies the parallelism
+    return std::make_unique<ml::RandomForest>(c);
+  };
+  for (auto _ : state) {
+    util::Rng rng(8);
+    benchmark::DoNotOptimize(
+        ml::cross_validate(f.train_ds, factory, 5, 4, rng, &pool));
+  }
+  util::Rng r1(8), r2(8);
+  const ml::CvResult serial =
+      ml::cross_validate(f.train_ds, factory, 5, 2, r1, nullptr);
+  const ml::CvResult parallel =
+      ml::cross_validate(f.train_ds, factory, 5, 2, r2, &pool);
+  state.counters["bit_identical"] = serial.accuracy == parallel.accuracy &&
+                                    serial.weighted_f1 == parallel.weighted_f1;
+}
+BENCHMARK(BM_RepeatedCrossValidation)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Batched forest inference across all rows. Arg = num_threads.
+void BM_ForestPredictBatch(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  ml::RandomForest rf(cfg);
+  util::Rng rng(4);
+  rf.fit(f.train_ds, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.predict_batch(f.train_ds));
+  }
+}
+BENCHMARK(BM_ForestPredictBatch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 void BM_RayTraceLobby(benchmark::State& state) {
   const env::Environment lobby = env::make_lobby();

@@ -9,6 +9,7 @@
 
 #include "common.h"
 #include "core/online.h"
+#include "util/thread_pool.h"
 
 using namespace libra;
 
@@ -36,10 +37,17 @@ int main() {
   std::printf("limited seed campaign: %zu of %zu records (lobby+lab only)\n",
               limited.records.size(), wb.training.records.size());
 
+  // One pool shared by the offline baseline and every online retrain; the
+  // learned models are bit-identical to a serial run (per-tree streams).
+  util::ThreadPool pool;
+  std::printf("retrain pool: %d threads\n", pool.num_threads());
+
   core::LibraClassifier offline;
+  offline.set_thread_pool(&pool);
   offline.train(limited, gt, rng);
 
   core::OnlineLibra online;
+  online.set_thread_pool(&pool);
   online.seed(limited, gt, rng);
 
   // Stream the testing entries in a shuffled deployment order, predicting

@@ -15,6 +15,7 @@
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
 #include "ml/svm.h"
+#include "util/thread_pool.h"
 
 using namespace libra;
 
@@ -74,8 +75,11 @@ int main() {
   util::Table t({"model", "CV acc", "CV F1", "x-bldg acc", "x-bldg F1",
                  "paper CV", "paper x-bldg"});
   util::Rng rng(42);
+  util::ThreadPool pool;  // hardware_concurrency workers for the CV grid
+  std::printf("CV pool: %d threads\n", pool.num_threads());
   for (const ModelRow& m : models) {
-    const ml::CvResult cv = ml::cross_validate(train, m.factory, 5, 20, rng);
+    const ml::CvResult cv =
+        ml::cross_validate(train, m.factory, 5, 20, rng, &pool);
     const ml::CvResult xb = ml::train_test(train, test, m.factory, rng);
     t.add_row({m.name, util::format_double(100 * cv.accuracy, 1),
                util::format_double(100 * cv.weighted_f1, 1),

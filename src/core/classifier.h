@@ -17,6 +17,9 @@
 namespace libra::core {
 
 struct LibraClassifierConfig {
+  // forest.num_threads governs training/batch-inference parallelism:
+  // 0 = hardware_concurrency(), 1 = serial legacy behavior. The trained
+  // model is bit-identical for any setting (per-tree Rng streams).
   ml::RandomForestConfig forest{};
   // Missing-ACK rule (Sec. 7, issue 3).
   phy::McsIndex no_ack_mcs_threshold = 6;
@@ -53,6 +56,12 @@ class LibraClassifier {
 
   bool trained() const { return trained_; }
   const ml::RandomForest& forest() const { return forest_; }
+
+  // Share an external worker pool for (re)training instead of the forest's
+  // own lazily created one (e.g. one pool across many live sessions).
+  void set_thread_pool(util::ThreadPool* pool) {
+    forest_.set_thread_pool(pool);
+  }
 
   static ml::Label to_label(trace::Action a);
   static trace::Action to_action(ml::Label l);

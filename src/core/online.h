@@ -47,6 +47,13 @@ class OnlineLibra {
   int observed_events() const { return observed_; }
   int retrains() const { return retrains_; }
 
+  // Worker pool for the periodic retrains (forwarded to the forest). The
+  // Sec. 7 deployment retrains every other frame, so retrain latency is on
+  // the product's critical path, not just a bench number.
+  void set_thread_pool(util::ThreadPool* pool) {
+    classifier_.set_thread_pool(pool);
+  }
+
  private:
   void retrain(const trace::GroundTruthConfig& gt, util::Rng& rng);
 

@@ -1,29 +1,69 @@
 #include "ml/cross_validation.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace libra::ml {
 
 CvResult cross_validate(const DataSet& data, const ClassifierFactory& factory,
-                        int k, int repeats, util::Rng& rng) {
+                        int k, int repeats, util::Rng& rng,
+                        util::ThreadPool* pool) {
+  if (k < 2) {
+    throw std::invalid_argument("cross_validate: k must be >= 2, got " +
+                                std::to_string(k));
+  }
+  if (repeats < 1) {
+    throw std::invalid_argument("cross_validate: repeats must be >= 1, got " +
+                                std::to_string(repeats));
+  }
+  if (data.size() < static_cast<std::size_t>(k)) {
+    throw std::invalid_argument(
+        "cross_validate: dataset has " + std::to_string(data.size()) +
+        " rows, fewer than k = " + std::to_string(k) + " folds");
+  }
+
   CvResult result;
   result.folds = k;
   result.repeats = repeats;
-  double acc_sum = 0.0, f1_sum = 0.0;
-  int n = 0;
+
+  // Materialize every (repeat, fold) task up front: the splits and the
+  // per-fold training streams are forked serially off the caller's Rng, so
+  // the parallel schedule cannot perturb any randomness.
+  struct FoldTask {
+    FoldSplit split;
+    util::Rng rng;
+  };
+  std::vector<FoldTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(repeats * k));
   for (int r = 0; r < repeats; ++r) {
-    const auto splits = stratified_kfold(data, k, rng);
-    for (const FoldSplit& split : splits) {
-      const DataSet train = data.subset(split.train);
-      const DataSet test = data.subset(split.test);
-      auto model = factory();
-      model->fit(train, rng);
-      const std::vector<Label> pred = model->predict_all(test);
-      acc_sum += accuracy(test.labels(), pred);
-      f1_sum += weighted_f1(test.labels(), pred);
-      ++n;
+    util::Rng repeat_rng = rng.fork();
+    auto splits = stratified_kfold(data, k, repeat_rng);
+    for (FoldSplit& split : splits) {
+      tasks.push_back({std::move(split), repeat_rng.fork()});
     }
   }
-  result.accuracy = acc_sum / n;
-  result.weighted_f1 = f1_sum / n;
+
+  std::vector<double> accs(tasks.size(), 0.0);
+  std::vector<double> f1s(tasks.size(), 0.0);
+  util::parallel_for(pool, tasks.size(), [&](std::size_t i) {
+    FoldTask& task = tasks[i];
+    const DataSet train = data.subset(task.split.train);
+    const DataSet test = data.subset(task.split.test);
+    auto model = factory();
+    model->fit(train, task.rng);
+    const std::vector<Label> pred = model->predict_all(test);
+    accs[i] = accuracy(test.labels(), pred);
+    f1s[i] = weighted_f1(test.labels(), pred);
+  });
+
+  // Deterministic accumulation order, independent of the schedule.
+  double acc_sum = 0.0, f1_sum = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    acc_sum += accs[i];
+    f1_sum += f1s[i];
+  }
+  result.accuracy = acc_sum / static_cast<double>(tasks.size());
+  result.weighted_f1 = f1_sum / static_cast<double>(tasks.size());
   return result;
 }
 

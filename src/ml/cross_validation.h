@@ -1,6 +1,12 @@
 // Stratified k-fold cross validation (Sec. 6.2): the paper runs stratified
 // 5-fold CV, repeated with random splits, and reports average accuracy and
 // weighted F1.
+//
+// The (repeat, fold) grid is embarrassingly parallel and runs on an
+// optional util::ThreadPool. All randomness (the per-repeat shuffles and
+// the per-fold training streams) is forked off the caller's Rng serially
+// before dispatch, and per-fold metrics are accumulated in fold order, so
+// the result is bit-identical for any thread count.
 #pragma once
 
 #include <functional>
@@ -8,6 +14,7 @@
 
 #include "ml/data.h"
 #include "ml/metrics.h"
+#include "util/thread_pool.h"
 
 namespace libra::ml {
 
@@ -21,9 +28,13 @@ struct CvResult {
 using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
 
 // Run `repeats` rounds of stratified k-fold CV with fresh random splits and
-// average the metrics across all folds of all rounds.
+// average the metrics across all folds of all rounds. Throws
+// std::invalid_argument when k < 2, repeats < 1, or the dataset has fewer
+// rows than folds. `pool` parallelizes across the folds of all rounds;
+// nullptr runs serially.
 CvResult cross_validate(const DataSet& data, const ClassifierFactory& factory,
-                        int k, int repeats, util::Rng& rng);
+                        int k, int repeats, util::Rng& rng,
+                        util::ThreadPool* pool = nullptr);
 
 // Train on one set, evaluate on another (the cross-building experiment).
 CvResult train_test(const DataSet& train, const DataSet& test,

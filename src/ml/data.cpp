@@ -96,12 +96,11 @@ std::vector<FoldSplit> stratified_kfold(const DataSet& data, int k,
   return splits;
 }
 
-std::vector<Label> Classifier::predict_all(const DataSet& data) const {
-  std::vector<Label> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(predict(data.row(i)));
-  }
+std::vector<Label> Classifier::predict_all(const DataSet& data,
+                                           util::ThreadPool* pool) const {
+  std::vector<Label> out(data.size());
+  util::parallel_for(pool, data.size(),
+                     [&](std::size_t i) { out[i] = predict(data.row(i)); });
   return out;
 }
 

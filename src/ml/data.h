@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace libra::ml {
 
@@ -74,7 +75,10 @@ class Classifier {
   virtual void fit(const DataSet& train, util::Rng& rng) = 0;
   virtual Label predict(std::span<const double> features) const = 0;
 
-  std::vector<Label> predict_all(const DataSet& data) const;
+  // Predict every row; `pool` parallelizes across rows (nullptr = serial).
+  // The output order is row order either way.
+  std::vector<Label> predict_all(const DataSet& data,
+                                 util::ThreadPool* pool = nullptr) const;
 };
 
 }  // namespace libra::ml

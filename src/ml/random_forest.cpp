@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace libra::ml {
 
 RandomForest::RandomForest(RandomForestConfig cfg) : cfg_(cfg) {}
 
+util::ThreadPool* RandomForest::pool() const {
+  if (external_pool_ != nullptr) return external_pool_;
+  const int threads = util::ThreadPool::resolve(cfg_.num_threads);
+  // Inside another pool's worker the loops run inline anyway, so don't
+  // spin up (and then never use) a private pool per forest.
+  if (threads <= 1 || util::ThreadPool::in_worker()) return nullptr;
+  if (!owned_pool_) {
+    owned_pool_ = std::make_shared<util::ThreadPool>(threads);
+  }
+  return owned_pool_.get();
+}
+
 void RandomForest::fit(const DataSet& train, util::Rng& rng) {
+  if (train.empty()) {
+    throw std::invalid_argument("RandomForest::fit: empty training set");
+  }
   trees_.clear();
   num_classes_ = std::max(train.num_classes(), 2);
 
@@ -20,23 +36,35 @@ void RandomForest::fit(const DataSet& train, util::Rng& rng) {
                std::sqrt(static_cast<double>(train.num_features())))));
   }
 
-  importances_.assign(train.num_features(), 0.0);
+  const auto num_trees = static_cast<std::size_t>(cfg_.num_trees);
+  // Split one deterministic child stream per tree before any parallel
+  // work: tree t consumes only streams[t], so the thread schedule cannot
+  // leak into the model and serial == parallel bit-for-bit.
+  std::vector<util::Rng> streams;
+  streams.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) streams.push_back(rng.fork());
+
   const auto sample_size = static_cast<std::size_t>(
       std::max<double>(1.0, cfg_.bootstrap_fraction *
                                 static_cast<double>(train.size())));
-  for (int t = 0; t < cfg_.num_trees; ++t) {
+  trees_.assign(num_trees, DecisionTree(tree_cfg));
+  util::parallel_for(pool(), num_trees, [&](std::size_t t) {
+    util::Rng& tree_rng = streams[t];
     std::vector<std::size_t> bootstrap(sample_size);
     for (std::size_t& idx : bootstrap) {
       idx = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<int>(train.size()) - 1));
+          tree_rng.uniform_int(0, static_cast<int>(train.size()) - 1));
     }
     const DataSet bag = train.subset(bootstrap);
-    DecisionTree tree(tree_cfg);
-    tree.fit(bag, rng);
+    trees_[t].fit(bag, tree_rng);
+  });
+
+  // Aggregate importances serially in tree order (deterministic sum).
+  importances_.assign(train.num_features(), 0.0);
+  for (const DecisionTree& tree : trees_) {
     for (std::size_t f = 0; f < importances_.size(); ++f) {
       importances_[f] += tree.raw_importances()[f];
     }
-    trees_.push_back(std::move(tree));
   }
   const double total =
       std::accumulate(importances_.begin(), importances_.end(), 0.0);
@@ -54,6 +82,9 @@ void RandomForest::import_model(std::vector<DecisionTree> trees,
 }
 
 Label RandomForest::predict(std::span<const double> features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict: forest is not fitted");
+  }
   std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
   for (const DecisionTree& tree : trees_) {
     ++votes[static_cast<std::size_t>(tree.predict(features))];
@@ -71,6 +102,22 @@ std::vector<double> RandomForest::vote_fractions(
   }
   for (double& f : fractions) f /= static_cast<double>(trees_.size());
   return fractions;
+}
+
+std::vector<Label> RandomForest::predict_batch(const DataSet& data) const {
+  std::vector<Label> out(data.size());
+  util::parallel_for(pool(), data.size(),
+                     [&](std::size_t i) { out[i] = predict(data.row(i)); });
+  return out;
+}
+
+std::vector<std::vector<double>> RandomForest::vote_fractions_batch(
+    const DataSet& data) const {
+  std::vector<std::vector<double>> out(data.size());
+  util::parallel_for(pool(), data.size(), [&](std::size_t i) {
+    out[i] = vote_fractions(data.row(i));
+  });
+  return out;
 }
 
 }  // namespace libra::ml

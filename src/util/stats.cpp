@@ -20,7 +20,7 @@ void RunningStats::add(double x) {
 }
 
 double RunningStats::variance() const {
-  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

@@ -15,7 +15,7 @@ class RunningStats {
   void add(double x);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  // population variance
+  double variance() const;  // unbiased sample variance (n-1); 0 for n < 2
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }

@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace libra::util {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+int ThreadPool::resolve(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads) : threads_(resolve(num_threads)) {
+  // With one thread the caller does all the work inline: no workers, no
+  // synchronization, exactly the legacy serial behavior.
+  workers_.reserve(static_cast<std::size_t>(std::max(0, threads_ - 1)));
+  for (int i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Workers exit only once the queue is empty, but if the pool never had
+  // workers (threads_ == 1) pending submits still have to run somewhere.
+  while (!queue_.empty()) {
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> result = wrapped.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(wrapped));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions for the future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1 || in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared dynamic counter: helpers and the caller pull the next index.
+  // Scheduling order is irrelevant to the result because callers keep all
+  // per-index state (Rng streams, output slots) disjoint.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mu = std::make_shared<std::mutex>();
+  auto run = [n, fn, next, first_error, error_mu] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mu);
+        if (!*first_error) *first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_ - 1), n - 1);
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) pending.push_back(submit(run));
+  run();  // the caller participates
+  for (auto& f : pending) f.get();
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(n, fn);
+}
+
+}  // namespace libra::util

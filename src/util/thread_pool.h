@@ -1,0 +1,71 @@
+// Fixed-size thread pool with a blocking parallel_for helper.
+//
+// The ML layer (forest training, cross validation, batch inference) is
+// embarrassingly parallel; this pool gives those loops a shared, bounded
+// set of workers without any work stealing. Determinism is preserved by
+// the callers: every parallel task owns its own pre-forked Rng stream and
+// writes results into a per-index slot, so the schedule cannot influence
+// the output and `num_threads = 1` is bit-identical to `num_threads = N`.
+//
+// Nested parallelism is safe by construction: parallel_for() called from
+// inside a pool worker runs inline on that worker (see in_worker()), so a
+// parallel cross validation that fits parallel forests never deadlocks or
+// oversubscribes.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace libra::util {
+
+class ThreadPool {
+ public:
+  // `num_threads` follows the library-wide knob convention: 0 means
+  // hardware_concurrency(), 1 means no workers (every call runs inline on
+  // the caller, the exact legacy serial behavior), N > 1 spawns N workers.
+  explicit ThreadPool(int num_threads = 0);
+  // Drains the queue: every task submitted before destruction runs.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return threads_; }
+
+  // Enqueue one task. The future rethrows the task's exception on get().
+  std::future<void> submit(std::function<void()> task);
+
+  // Run fn(i) for every i in [0, n), blocking until all complete. The
+  // caller participates; the first exception thrown by any fn(i) is
+  // rethrown here after the batch finishes.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // True on a pool worker thread (any pool). Used to run nested
+  // parallel_for calls inline instead of deadlocking on a busy queue.
+  static bool in_worker();
+
+  // Map the config knob to an actual thread count (0 -> hardware).
+  static int resolve(int requested);
+
+ private:
+  void worker_loop();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper: run fn(i) for i in [0, n) on `pool`, or inline when
+// `pool` is null, single-threaded, or we are already on a pool worker.
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace libra::util

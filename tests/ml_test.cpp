@@ -90,7 +90,9 @@ TEST(Standardizer, ZeroMeanUnitVariance) {
     col1.add(z.row(i)[1]);
   }
   EXPECT_NEAR(col0.mean(), 0.0, 1e-9);
-  EXPECT_NEAR(col0.stddev(), 1.0, 1e-9);
+  // Standardizer normalizes by the population stddev; RunningStats reports
+  // the sample stddev, hence the sqrt(n/(n-1)) Bessel factor.
+  EXPECT_NEAR(col0.stddev(), std::sqrt(500.0 / 499.0), 1e-9);
   EXPECT_NEAR(col1.mean(), 0.0, 1e-9);
 }
 
@@ -275,6 +277,63 @@ TEST(RandomForest, ConfigurableTreeCount) {
   EXPECT_EQ(rf.trees().size(), 7u);
 }
 
+TEST(RandomForest, ParallelFitBitIdenticalToSerial) {
+  // The same seed must yield the same forest whether trees are trained on
+  // one thread or four: each tree consumes only its own forked stream.
+  util::Rng data_rng(30);
+  const DataSet train = xor_data(60, data_rng);
+  const DataSet test = xor_data(40, data_rng);
+
+  RandomForestConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  RandomForestConfig parallel_cfg;
+  parallel_cfg.num_threads = 4;
+
+  RandomForest serial(serial_cfg), parallel(parallel_cfg);
+  util::Rng r1(31), r2(31);
+  serial.fit(train, r1);
+  parallel.fit(train, r2);
+
+  EXPECT_EQ(serial.feature_importances(), parallel.feature_importances());
+  EXPECT_EQ(serial.predict_batch(test), parallel.predict_batch(test));
+  ASSERT_EQ(serial.trees().size(), parallel.trees().size());
+  for (std::size_t t = 0; t < serial.trees().size(); ++t) {
+    EXPECT_EQ(serial.trees()[t].node_count(), parallel.trees()[t].node_count());
+  }
+}
+
+TEST(RandomForest, FitOnEmptySetThrows) {
+  RandomForest rf;
+  DataSet empty(3);
+  util::Rng rng(1);
+  EXPECT_THROW(rf.fit(empty, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, PredictOnUnfittedForestThrows) {
+  const RandomForest rf;
+  EXPECT_THROW(rf.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(RandomForest, VoteFractionsOnUnfittedForestAreZero) {
+  const RandomForest rf;
+  const auto votes = rf.vote_fractions(std::vector<double>{0.0});
+  for (double v : votes) EXPECT_EQ(v, 0.0);
+}
+
+TEST(RandomForest, PredictBatchMatchesPredict) {
+  util::Rng rng(32);
+  const DataSet train = blobs(40, rng);
+  RandomForestConfig cfg;
+  cfg.num_threads = 4;
+  RandomForest rf(cfg);
+  rf.fit(train, rng);
+  const std::vector<Label> batch = rf.predict_batch(train);
+  ASSERT_EQ(batch.size(), train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(batch[i], rf.predict(train.row(i)));
+  }
+}
+
 TEST(RandomForest, MajorityVoteMulticlass) {
   util::Rng rng(12);
   DataSet d(1);
@@ -442,6 +501,38 @@ TEST(CrossValidation, HighAccuracyOnSeparableData) {
   EXPECT_GT(result.weighted_f1, 0.97);
   EXPECT_EQ(result.folds, 5);
   EXPECT_EQ(result.repeats, 2);
+}
+
+TEST(CrossValidation, InvalidInputsThrow) {
+  util::Rng rng(23);
+  const DataSet d = blobs(10, rng);
+  const ClassifierFactory factory = [] {
+    return std::make_unique<DecisionTree>();
+  };
+  EXPECT_THROW(cross_validate(d, factory, 1, 2, rng), std::invalid_argument);
+  EXPECT_THROW(cross_validate(d, factory, 5, 0, rng), std::invalid_argument);
+  DataSet tiny(1);
+  tiny.add(std::vector<double>{0.0}, 0);
+  tiny.add(std::vector<double>{1.0}, 1);
+  EXPECT_THROW(cross_validate(tiny, factory, 5, 1, rng),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, ParallelPoolBitIdenticalToSerial) {
+  util::Rng data_rng(24);
+  const DataSet d = blobs(40, data_rng);
+  const ClassifierFactory factory = [] {
+    RandomForestConfig cfg;
+    cfg.num_trees = 10;
+    cfg.num_threads = 1;
+    return std::make_unique<RandomForest>(cfg);
+  };
+  util::Rng r1(25), r2(25);
+  const CvResult serial = cross_validate(d, factory, 5, 3, r1, nullptr);
+  util::ThreadPool pool(4);
+  const CvResult parallel = cross_validate(d, factory, 5, 3, r2, &pool);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+  EXPECT_EQ(serial.weighted_f1, parallel.weighted_f1);
 }
 
 TEST(CrossValidation, TrainTestSeparation) {

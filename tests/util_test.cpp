@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
+#include <vector>
 
 #include "util/fft.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace libra::util {
@@ -102,6 +106,74 @@ TEST(Rng, ShuffleKeepsElements) {
   EXPECT_EQ(v, sorted);
 }
 
+// ---------- ThreadPool ----------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(50, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFutureRethrows) {
+  ThreadPool pool(2);
+  auto future =
+      pool.submit([] { throw std::invalid_argument("task failed"); });
+  EXPECT_THROW(future.get(), std::invalid_argument);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // destructor must run everything already enqueued
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, ResolveMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::resolve(0), 1);
+  EXPECT_EQ(ThreadPool::resolve(1), 1);
+  EXPECT_EQ(ThreadPool::resolve(6), 6);
+}
+
+TEST(ThreadPool, FreeHelperRunsInlineWithoutPool) {
+  int sum = 0;
+  parallel_for(nullptr, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
 // ---------- RunningStats ----------
 
 TEST(RunningStats, Basics) {
@@ -111,7 +183,8 @@ TEST(RunningStats, Basics) {
   EXPECT_DOUBLE_EQ(s.mean(), 2.5);
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
   EXPECT_DOUBLE_EQ(s.max(), 4.0);
-  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  // Unbiased sample variance: m2 = 5, n - 1 = 3.
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
 }
 
 TEST(RunningStats, EmptyIsZero) {

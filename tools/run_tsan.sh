@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Configure, build and run the test suite under ThreadSanitizer.
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+#
+# Exercises the util::ThreadPool paths (parallel forest training, parallel
+# cross validation, batched inference) with TSan's data-race detection.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" -DLIBRA_SANITIZE=thread
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j
