@@ -171,6 +171,70 @@ BENCHMARK(BM_ForestPredictBatch)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
+// Fleet-scale decision serving: one classify_batch call over N links'
+// feature rows, per-link jitter from per-link Rng streams, forest votes on
+// a pool of `threads` workers. Args = {num_links, num_threads}. The
+// `bit_identical` counter replays the batch against N serial per-link
+// classify() calls fed clones of the same streams and checks every verdict
+// matches -- the FleetSession determinism contract at the classifier
+// boundary.
+void BM_FleetClassifyBatch(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const auto links = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  util::ThreadPool pool(threads);
+  core::LibraClassifier clf = f.classifier;  // copies share the trees
+  clf.set_thread_pool(&pool);
+
+  std::vector<trace::FeatureVector> rows(links);
+  for (std::size_t i = 0; i < links; ++i) {
+    rows[i] = trace::extract_features(
+        f.training.records[i % f.training.records.size()]);
+  }
+  std::vector<util::Rng> streams;
+  std::vector<util::Rng*> stream_ptrs;
+  streams.reserve(links);
+  for (std::size_t i = 0; i < links; ++i) {
+    streams.emplace_back(1000 + i);
+  }
+  for (util::Rng& s : streams) stream_ptrs.push_back(&s);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clf.classify_batch(rows, stream_ptrs));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(links));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(links),
+      benchmark::Counter::kIsRate);
+
+  // Verdict parity: batch vs. serial per-link classify on twin streams.
+  std::vector<util::Rng> batch_streams, serial_streams;
+  std::vector<util::Rng*> batch_ptrs;
+  for (std::size_t i = 0; i < links; ++i) {
+    batch_streams.emplace_back(2000 + i);
+    serial_streams.emplace_back(2000 + i);
+  }
+  for (util::Rng& s : batch_streams) batch_ptrs.push_back(&s);
+  const std::vector<trace::Action> batched =
+      clf.classify_batch(rows, batch_ptrs);
+  bool identical = true;
+  for (std::size_t i = 0; i < links; ++i) {
+    identical &= batched[i] == f.classifier.classify(rows[i],
+                                                     serial_streams[i]);
+  }
+  state.counters["bit_identical"] = identical;
+}
+BENCHMARK(BM_FleetClassifyBatch)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({8, 4})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 void BM_RayTraceLobby(benchmark::State& state) {
   const env::Environment lobby = env::make_lobby();
   const channel::PathTracer tracer;

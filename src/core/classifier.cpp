@@ -36,17 +36,20 @@ void LibraClassifier::train(const trace::Dataset& dataset,
   trained_ = true;
 }
 
-trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
-                                        util::Rng& rng) const {
-  if (!trained_) throw std::logic_error("classifier not trained");
+trace::FeatureVector LibraClassifier::add_window_noise(
+    const trace::FeatureVector& features, util::Rng& rng) const {
   trace::FeatureVector noisy = features;
   noisy.v[0] += rng.gaussian(0.0, cfg_.window_snr_jitter_db);
   noisy.v[2] += rng.gaussian(0.0, cfg_.window_noise_jitter_db);
   noisy.v[5] += rng.gaussian(0.0, cfg_.window_cdr_jitter);
-  if (cfg_.min_confidence <= 0.0) {
-    return to_action(forest_.predict(noisy.v));
-  }
-  const std::vector<double> votes = forest_.vote_fractions(noisy.v);
+  return noisy;
+}
+
+trace::Action LibraClassifier::verdict_from_votes(
+    std::span<const double> votes) const {
+  // First-max arg-max: identical tie-breaking to RandomForest::predict's
+  // max_element over integer vote counts (fractions are counts / num_trees,
+  // a monotonic map), so gated and ungated paths agree bit-for-bit.
   std::size_t best = 0;
   for (std::size_t c = 1; c < votes.size(); ++c) {
     if (votes[c] > votes[best]) best = c;
@@ -56,6 +59,43 @@ trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
     return trace::Action::kNA;  // not sure enough to pay for adaptation
   }
   return a;
+}
+
+trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
+                                        util::Rng& rng) const {
+  if (!trained_) throw std::logic_error("classifier not trained");
+  const trace::FeatureVector noisy = add_window_noise(features, rng);
+  return verdict_from_votes(forest_.vote_fractions(noisy.v));
+}
+
+std::vector<trace::Action> LibraClassifier::classify_batch(
+    std::span<const trace::FeatureVector> features,
+    std::span<util::Rng* const> rngs) const {
+  if (!trained_) throw std::logic_error("classifier not trained");
+  if (features.size() != rngs.size()) {
+    throw std::invalid_argument(
+        "classify_batch: " + std::to_string(features.size()) +
+        " feature rows but " + std::to_string(rngs.size()) + " rng streams");
+  }
+  // Jitter serially in row order -- each row consumes only its own link's
+  // stream, so the batch boundary never changes what any link draws.
+  ml::DataSet rows(trace::FeatureVector::kDim);
+  rows.reserve(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (rngs[i] == nullptr) {
+      throw std::invalid_argument("classify_batch: null rng for row " +
+                                  std::to_string(i));
+    }
+    rows.add(add_window_noise(features[i], *rngs[i]).v, 0);
+  }
+  // One pooled forest pass over every link's row.
+  const std::vector<std::vector<double>> votes =
+      forest_.vote_fractions_batch(rows);
+  std::vector<trace::Action> verdicts(features.size());
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    verdicts[i] = verdict_from_votes(votes[i]);
+  }
+  return verdicts;
 }
 
 trace::Action LibraClassifier::no_ack_action(phy::McsIndex current_mcs,

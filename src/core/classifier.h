@@ -10,6 +10,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "ml/random_forest.h"
 #include "trace/dataset.h"
@@ -50,6 +52,16 @@ class LibraClassifier {
   trace::Action classify(const trace::FeatureVector& features,
                          util::Rng& rng) const;
 
+  // Batched classification for fleet serving: row i draws its
+  // observation-window jitter from rngs[i] (each link's own stream, in row
+  // order), then every row rides one RandomForest::vote_fractions_batch
+  // call on the forest's thread pool. Per-row min_confidence gating applies
+  // exactly as in classify(); verdicts are bit-identical to N independent
+  // classify() calls consuming the same per-link streams.
+  std::vector<trace::Action> classify_batch(
+      std::span<const trace::FeatureVector> features,
+      std::span<util::Rng* const> rngs) const;
+
   // The missing-ACK fallback rule.
   trace::Action no_ack_action(phy::McsIndex current_mcs,
                               double ba_overhead_ms) const;
@@ -67,6 +79,13 @@ class LibraClassifier {
   static trace::Action to_action(ml::Label l);
 
  private:
+  // Jitter the window-sensitive features in place from `rng` (3 draws).
+  trace::FeatureVector add_window_noise(const trace::FeatureVector& features,
+                                        util::Rng& rng) const;
+  // Arg-max + confidence gate over per-class vote fractions; the single
+  // verdict path shared by classify() and classify_batch().
+  trace::Action verdict_from_votes(std::span<const double> votes) const;
+
   LibraClassifierConfig cfg_;
   ml::RandomForest forest_;
   bool trained_ = false;

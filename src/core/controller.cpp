@@ -17,6 +17,10 @@ LinkController::LinkController(channel::Link* link,
       ack_model_(error_model, cfg.ack),
       up_prober_(0, cfg.up_prober) {
   if (!link_ || !error_model_) throw std::invalid_argument("null dependency");
+  if (!(cfg_.fat_ms > 0.0)) {
+    throw std::invalid_argument("ControllerConfig: fat_ms must be > 0, got " +
+                                std::to_string(cfg_.fat_ms));
+  }
 }
 
 bool LinkController::is_working(double cdr, double tput_mbps) const {
@@ -85,19 +89,20 @@ trace::FeatureVector LinkController::features_against_baseline(
   return f;
 }
 
-FrameReport LinkController::step(util::Rng& rng) {
-  FrameReport report;
+DecisionRequest LinkController::observe(util::Rng& rng) {
+  DecisionRequest request;
+  FrameReport& report = request.report;
   report.t_ms = t_ms_;
   report.tx_beam = tx_beam_;
   report.rx_beam = rx_beam_;
 
   // Choose this frame's MCS: walking probes downward; otherwise the upward
   // prober may spend the frame probing one MCS higher.
-  phy::McsIndex frame_mcs = mcs_;
+  const phy::McsIndex frame_mcs = mcs_;
   // Window-averaged observation (what the classifier and the settle logic
   // consume).
-  const phy::PhyObservation obs =
-      sampler_.observe(*link_, tx_beam_, rx_beam_, frame_mcs, rng);
+  request.obs = sampler_.observe(*link_, tx_beam_, rx_beam_, frame_mcs, rng);
+  const phy::PhyObservation& obs = request.obs;
 
   // This specific frame either collides with an interference burst or not;
   // its ACK and goodput follow the instantaneous SINR, not the average.
@@ -119,7 +124,8 @@ FrameReport LinkController::step(util::Rng& rng) {
                    cfg_.ack_loss_ewma_weight * (report.ack ? 0.0 : 1.0);
 
   if (walking_) {
-    // Evaluate the probe we just sent.
+    // Evaluate the probe we just sent; the walk consumes the frame, no
+    // policy decision is due.
     if (is_working(obs.cdr, obs.throughput_mbps) &&
         obs.throughput_mbps > walk_best_tput_) {
       walk_best_tput_ = obs.throughput_mbps;
@@ -149,13 +155,31 @@ FrameReport LinkController::step(util::Rng& rng) {
     } else {
       --mcs_;  // next probe one MCS lower
     }
-    return report;
+    return request;
   }
 
-  // Steady state: ask the policy.
-  const trace::Action action = decide(report, obs, rng);
-  report.action = action;
-  switch (action) {
+  // Steady state: ask the policy what this frame's verdict needs.
+  request.decision_due = true;
+  plan(request, rng);
+  return request;
+}
+
+trace::Action LinkController::decide(const DecisionRequest& request,
+                                     util::Rng& rng) const {
+  if (request.needs_inference()) {
+    return request.classifier->classify(request.features, rng);
+  }
+  return request.resolved_without_inference();
+}
+
+void LinkController::note_verdict(trace::Action, const DecisionRequest&) {}
+
+void LinkController::apply(trace::Action verdict, DecisionRequest& request,
+                           util::Rng& rng) {
+  if (!request.decision_due) return;  // the walk already consumed the frame
+  note_verdict(verdict, request);
+  request.report.action = verdict;
+  switch (verdict) {
     case trace::Action::kBA:
       run_ba(rng);
       begin_ra_walk();
@@ -173,8 +197,8 @@ FrameReport LinkController::step(util::Rng& rng) {
       view.cdr.assign(view.throughput_mbps.size(), 0.0);
       // Fill only the two entries the prober inspects, from live estimates.
       const auto cur = static_cast<std::size_t>(mcs_);
-      view.cdr[cur] = obs.cdr;
-      view.throughput_mbps[cur] = obs.throughput_mbps;
+      view.cdr[cur] = request.obs.cdr;
+      view.throughput_mbps[cur] = request.obs.throughput_mbps;
       if (mcs_ < error_model_->table().max_mcs()) {
         const phy::PhyObservation up = sampler_.observe(
             *link_, tx_beam_, rx_beam_, mcs_ + 1, rng);
@@ -189,7 +213,13 @@ FrameReport LinkController::step(util::Rng& rng) {
       break;
     }
   }
-  return report;
+}
+
+FrameReport LinkController::step(util::Rng& rng) {
+  DecisionRequest request = observe(rng);
+  const trace::Action verdict = decide(request, rng);
+  apply(verdict, request, rng);
+  return request.report;
 }
 
 // ---------- LiBRA ----------
@@ -202,53 +232,49 @@ LibraController::LibraController(channel::Link* link,
   if (!classifier_) throw std::invalid_argument("null classifier");
 }
 
-trace::Action LibraController::decide(const FrameReport& frame,
-                                      const phy::PhyObservation& obs,
-                                      util::Rng& rng) {
-  (void)frame;
+void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
+  (void)rng;
   if (persistent_ack_loss()) {
     // Missing ACKs: no fresh PHY metrics, the distilled rule fires.
     holdoff_frames_ = cfg_.post_adapt_holdoff_frames;
-    return classifier_->no_ack_action(mcs_, cfg_.ba_overhead_ms);
+    request.precomputed = classifier_->no_ack_action(mcs_, cfg_.ba_overhead_ms);
+    return;
   }
   if (holdoff_frames_ > 0) {
     --holdoff_frames_;
-    return trace::Action::kNA;
+    return;  // precomputed stays kNA
   }
   if (++frames_since_decision_ < cfg_.decision_period_frames) {
-    return trace::Action::kNA;
+    return;
   }
   frames_since_decision_ = 0;
-  const trace::Action a =
-      classifier_->classify(features_against_baseline(obs), rng);
-  if (a != trace::Action::kNA) {
+  request.classifier = classifier_;
+  request.features = features_against_baseline(request.obs);
+}
+
+void LibraController::note_verdict(trace::Action verdict,
+                                   const DecisionRequest& request) {
+  if (request.needs_inference() && verdict != trace::Action::kNA) {
     holdoff_frames_ = cfg_.post_adapt_holdoff_frames;
   }
-  return a;
 }
 
 // ---------- heuristics ----------
 
-trace::Action RaFirstController::decide(const FrameReport& frame,
-                                        const phy::PhyObservation& obs,
-                                        util::Rng&) {
-  (void)frame;
+void RaFirstController::plan(DecisionRequest& request, util::Rng&) {
   // Trigger when the current MCS stops being a working MCS (Sec. 8.1);
   // Algorithm: RA first, BA happens automatically if the walk fails.
-  if (persistent_ack_loss() || !is_working(obs.cdr, obs.throughput_mbps)) {
-    return trace::Action::kRA;
+  if (persistent_ack_loss() ||
+      !is_working(request.obs.cdr, request.obs.throughput_mbps)) {
+    request.precomputed = trace::Action::kRA;
   }
-  return trace::Action::kNA;
 }
 
-trace::Action BaFirstController::decide(const FrameReport& frame,
-                                        const phy::PhyObservation& obs,
-                                        util::Rng&) {
-  (void)frame;
-  if (persistent_ack_loss() || !is_working(obs.cdr, obs.throughput_mbps)) {
-    return trace::Action::kBA;
+void BaFirstController::plan(DecisionRequest& request, util::Rng&) {
+  if (persistent_ack_loss() ||
+      !is_working(request.obs.cdr, request.obs.throughput_mbps)) {
+    request.precomputed = trace::Action::kBA;
   }
-  return trace::Action::kNA;
 }
 
 }  // namespace libra::core

@@ -4,10 +4,22 @@
 //
 // A controller owns the Tx-side adaptation state of one link: the current
 // beam pair and MCS, the observation-window metric tracker, and the upward
-// probing machinery. Each step() transmits one aggregated frame, observes
-// the PHY feedback that would ride back on the Block ACK (Sec. 7, issue 3:
-// Tx-initiated, metrics via ACKs + channel reciprocity), and runs the
-// adaptation decision:
+// probing machinery. Each frame runs through a three-phase pipeline:
+//
+//   observe()  transmit one aggregated frame, observe the PHY feedback that
+//              would ride back on the Block ACK (Sec. 7, issue 3:
+//              Tx-initiated, metrics via ACKs + channel reciprocity), and
+//              emit a DecisionRequest describing what the policy must rule
+//              on -- or that no decision is due (RA walk in progress).
+//   decide()   resolve the request into a verdict. Requests that need
+//              classifier inference run it here on the caller's Rng; a
+//              fleet instead gathers many links' requests and resolves them
+//              through one LibraClassifier::classify_batch() call.
+//   apply()    act on the verdict: run BA, enter the RA walk, or let the
+//              upward prober spend the frame.
+//
+// step() is the single-link compatibility wrapper: observe -> decide ->
+// apply on one Rng, bit-identical to the pre-split monolithic step.
 //
 //   LibraController    - Algorithm 1: 3-class classifier every other frame,
 //                        missing-ACK rule otherwise.
@@ -63,8 +75,33 @@ struct FrameReport {
   trace::Action action = trace::Action::kNA;  // adaptation fired this frame
 };
 
+// Everything observe() learned this frame and decide() needs to rule on it.
+// Exactly one of three shapes:
+//   - decision_due == false: the RA walk consumed the frame, no policy runs;
+//   - classifier != nullptr: the verdict requires classifier inference over
+//     `features` (the batching boundary -- a fleet funnels all rows sharing
+//     one classifier through a single classify_batch call);
+//   - otherwise: `precomputed` already is the verdict (heuristic triggers,
+//     the missing-ACK rule, holdoff and off-period frames).
+struct DecisionRequest {
+  FrameReport report;        // the frame observe() transmitted
+  phy::PhyObservation obs;   // window-averaged observation at the frame MCS
+  bool decision_due = false;
+  const LibraClassifier* classifier = nullptr;  // non-owning
+  trace::FeatureVector features{};
+  trace::Action precomputed = trace::Action::kNA;
+
+  bool needs_inference() const { return decision_due && classifier != nullptr; }
+  // The verdict when no inference is needed (what decide() returns without
+  // touching a classifier).
+  trace::Action resolved_without_inference() const {
+    return decision_due ? precomputed : trace::Action::kNA;
+  }
+};
+
 // Shared mechanics: beam state, per-frame transmission, the live downward
-// RA walk and the upward prober. Subclasses implement the trigger policy.
+// RA walk and the upward prober. Subclasses implement the trigger policy
+// through plan() (and optionally note_verdict()).
 class LinkController {
  public:
   LinkController(channel::Link* link, const phy::ErrorModel* error_model,
@@ -74,7 +111,14 @@ class LinkController {
   // Initial association: full beam training + best working MCS.
   void start(util::Rng& rng);
 
-  // Transmit one frame and adapt. Advances internal time.
+  // Phase 1: transmit one frame, advance time, produce the request.
+  DecisionRequest observe(util::Rng& rng);
+  // Phase 2: resolve the request serially (inference on the caller's Rng).
+  trace::Action decide(const DecisionRequest& request, util::Rng& rng) const;
+  // Phase 3: act on the verdict and stamp it into the request's report.
+  void apply(trace::Action verdict, DecisionRequest& request, util::Rng& rng);
+
+  // Single-link compatibility wrapper: observe -> decide -> apply.
   FrameReport step(util::Rng& rng);
 
   double time_ms() const { return t_ms_; }
@@ -83,10 +127,14 @@ class LinkController {
   phy::McsIndex mcs() const { return mcs_; }
 
  protected:
-  // Decide after a frame: which adaptation (if any) to run next.
-  virtual trace::Action decide(const FrameReport& frame,
-                               const phy::PhyObservation& obs,
-                               util::Rng& rng) = 0;
+  // Fill the request on a steady-state frame: either set `precomputed` or
+  // point `classifier` + `features` at the inference to run. Called once
+  // per decision-due frame, so per-frame counters live here.
+  virtual void plan(DecisionRequest& request, util::Rng& rng) = 0;
+  // Bookkeeping once the verdict is known, before the mechanics run (e.g.
+  // LiBRA arms its post-adaptation holdoff here).
+  virtual void note_verdict(trace::Action verdict,
+                            const DecisionRequest& request);
 
   // Run beam adaptation now: exhaustive sweep, charge the overhead.
   void run_ba(util::Rng& rng);
@@ -133,8 +181,9 @@ class LibraController : public LinkController {
                   const LibraClassifier* classifier, ControllerConfig cfg = {});
 
  protected:
-  trace::Action decide(const FrameReport& frame,
-                       const phy::PhyObservation& obs, util::Rng& rng) override;
+  void plan(DecisionRequest& request, util::Rng& rng) override;
+  void note_verdict(trace::Action verdict,
+                    const DecisionRequest& request) override;
 
  private:
   const LibraClassifier* classifier_;  // non-owning
@@ -147,8 +196,7 @@ class RaFirstController : public LinkController {
   using LinkController::LinkController;
 
  protected:
-  trace::Action decide(const FrameReport& frame,
-                       const phy::PhyObservation& obs, util::Rng& rng) override;
+  void plan(DecisionRequest& request, util::Rng& rng) override;
 };
 
 class BaFirstController : public LinkController {
@@ -156,8 +204,7 @@ class BaFirstController : public LinkController {
   using LinkController::LinkController;
 
  protected:
-  trace::Action decide(const FrameReport& frame,
-                       const phy::PhyObservation& obs, util::Rng& rng) override;
+  void plan(DecisionRequest& request, util::Rng& rng) override;
 };
 
 }  // namespace libra::core

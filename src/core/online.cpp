@@ -1,9 +1,28 @@
 #include "core/online.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace libra::core {
 
 OnlineLibra::OnlineLibra(OnlineLibraConfig cfg)
-    : cfg_(cfg), classifier_(cfg.classifier) {}
+    : cfg_(cfg), classifier_(cfg.classifier) {
+  if (cfg_.window_size < 1) {
+    throw std::invalid_argument(
+        "OnlineLibraConfig: window_size must be >= 1, got " +
+        std::to_string(cfg_.window_size));
+  }
+  if (cfg_.retrain_every < 1) {
+    throw std::invalid_argument(
+        "OnlineLibraConfig: retrain_every must be >= 1, got " +
+        std::to_string(cfg_.retrain_every));
+  }
+  if (cfg_.local_weight < 1) {
+    throw std::invalid_argument(
+        "OnlineLibraConfig: local_weight must be >= 1, got " +
+        std::to_string(cfg_.local_weight));
+  }
+}
 
 void OnlineLibra::seed(const trace::Dataset& offline,
                        const trace::GroundTruthConfig& gt, util::Rng& rng) {

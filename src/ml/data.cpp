@@ -16,6 +16,11 @@ void DataSet::add(std::span<const double> features, Label label) {
   labels_.push_back(label);
 }
 
+void DataSet::reserve(std::size_t rows) {
+  features_.reserve(features_.size() + rows * num_features_);
+  labels_.reserve(labels_.size() + rows);
+}
+
 int DataSet::num_classes() const {
   int max_label = -1;
   for (Label l : labels_) max_label = std::max(max_label, l);

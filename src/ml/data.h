@@ -20,6 +20,8 @@ class DataSet {
   DataSet(std::size_t num_features) : num_features_(num_features) {}
 
   void add(std::span<const double> features, Label label);
+  // Pre-size for `rows` add() calls (batch builders know their row count).
+  void reserve(std::size_t rows);
 
   std::size_t size() const { return labels_.size(); }
   std::size_t num_features() const { return num_features_; }

@@ -1,0 +1,116 @@
+#include "sim/fleet.h"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace libra::sim {
+
+FleetResult run_fleet(std::span<const FleetLink> links,
+                      const FleetConfig& cfg) {
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (!links[i].environment || !links[i].link || !links[i].controller) {
+      throw std::invalid_argument("run_fleet: null member in fleet link " +
+                                  std::to_string(i));
+    }
+  }
+
+  // Fork every link's stream up front, in link order: the fleet schedule
+  // can never perturb what an individual link draws.
+  util::Rng fleet_rng(cfg.seed);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    rngs.push_back(fleet_rng.fork());
+  }
+
+  std::vector<SessionDriver> drivers;
+  drivers.reserve(links.size());
+  for (const FleetLink& l : links) {
+    drivers.emplace_back(*l.environment, *l.link, *l.controller, l.script,
+                         cfg.keep_frame_logs);
+  }
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    drivers[i].start(rngs[i]);
+  }
+
+  FleetResult result;
+  std::vector<std::optional<core::DecisionRequest>> requests(links.size());
+  std::vector<trace::Action> verdicts(links.size(), trace::Action::kNA);
+  // Inference rows grouped by classifier, first-appearance order (one
+  // classify_batch call per distinct classifier per tick).
+  std::vector<const core::LibraClassifier*> group_keys;
+  std::vector<std::vector<std::size_t>> group_rows;
+
+  bool any_active = true;
+  while (any_active) {
+    const auto tick_start = std::chrono::steady_clock::now();
+    any_active = false;
+
+    // Gather: every active link transmits one frame.
+    group_keys.clear();
+    group_rows.clear();
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      if (drivers[i].done()) {
+        requests[i].reset();
+        continue;
+      }
+      requests[i] = drivers[i].observe(rngs[i]);
+      const core::DecisionRequest& req = *requests[i];
+      if (req.needs_inference()) {
+        std::size_t g = 0;
+        while (g < group_keys.size() && group_keys[g] != req.classifier) ++g;
+        if (g == group_keys.size()) {
+          group_keys.push_back(req.classifier);
+          group_rows.emplace_back();
+        }
+        group_rows[g].push_back(i);
+      } else {
+        verdicts[i] = req.resolved_without_inference();
+      }
+    }
+
+    // Decide: one batched inference per classifier; row order is link
+    // order, each row jittered from its own link's stream.
+    for (std::size_t g = 0; g < group_keys.size(); ++g) {
+      const std::vector<std::size_t>& members = group_rows[g];
+      std::vector<trace::FeatureVector> rows;
+      std::vector<util::Rng*> row_rngs;
+      rows.reserve(members.size());
+      row_rngs.reserve(members.size());
+      for (const std::size_t i : members) {
+        rows.push_back(requests[i]->features);
+        row_rngs.push_back(&rngs[i]);
+      }
+      const std::vector<trace::Action> batch =
+          group_keys[g]->classify_batch(rows, row_rngs);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        verdicts[members[m]] = batch[m];
+      }
+      result.batched_rows += static_cast<int>(members.size());
+    }
+
+    // Scatter: act on the verdicts and account the frames.
+    for (std::size_t i = 0; i < drivers.size(); ++i) {
+      if (!requests[i].has_value()) continue;
+      drivers[i].apply(verdicts[i], *requests[i], rngs[i]);
+      any_active = true;
+    }
+    if (any_active) {
+      ++result.ticks;
+      const auto tick_end = std::chrono::steady_clock::now();
+      result.tick_latency_us.add(
+          std::chrono::duration<double, std::micro>(tick_end - tick_start)
+              .count());
+    }
+  }
+
+  result.links.reserve(drivers.size());
+  for (SessionDriver& driver : drivers) {
+    result.links.push_back(driver.finish());
+  }
+  return result;
+}
+
+}  // namespace libra::sim

@@ -1,0 +1,61 @@
+// Fleet serving: one AP-side decision engine stepping many links in
+// lockstep (the multi-STA deployment of Algorithm 1 -- dozens of associated
+// stations adapting against one shared classifier every beacon interval).
+//
+// Each tick runs the three-phase pipeline across the whole fleet:
+//
+//   gather   every active link transmits one frame (SessionDriver::observe)
+//            and emits its DecisionRequest;
+//   decide   requests needing classifier inference are grouped by
+//            classifier and resolved through one classify_batch call per
+//            group -- N links' feature rows ride one pooled forest pass
+//            instead of N independent tree walks;
+//   scatter  verdicts flow back through apply(), which runs BA / the RA
+//            walk / upward probing and accounts the frame per link.
+//
+// Determinism contract (same discipline as the PR 1 thread-pool work): link
+// i draws only from its own stream, forked off the fleet seed in link order
+// before any stepping, and classify_batch jitters rows serially in link
+// order from those same streams. A fleet run is therefore bit-identical,
+// link for link, to N independent run_session() calls fed the same forked
+// streams -- regardless of forest thread count.
+#pragma once
+
+#include <span>
+
+#include "sim/session.h"
+#include "util/stats.h"
+
+namespace libra::sim {
+
+// One fleet member: a controller bound to its own environment and link
+// (sessions mutate blockers/interferers, so members never share a world).
+struct FleetLink {
+  env::Environment* environment = nullptr;  // non-owning
+  channel::Link* link = nullptr;            // non-owning
+  core::LinkController* controller = nullptr;  // non-owning
+  SessionScript script;
+};
+
+struct FleetConfig {
+  // Per-link Rng streams are forked off this seed in link order: link i
+  // gets the (i+1)-th fork() of Rng(seed).
+  std::uint64_t seed = 1;
+  bool keep_frame_logs = false;
+};
+
+struct FleetResult {
+  std::vector<SessionResult> links;  // per-link, in FleetLink order
+  int ticks = 0;          // lockstep rounds until every link finished
+  int batched_rows = 0;   // feature rows served through classify_batch
+  // Wall-clock per lockstep tick (gather + batched decide + scatter).
+  util::RunningStats tick_latency_us;
+};
+
+// Step every link in lockstep until all scripts complete. Links whose
+// sessions end early (shorter scripts) simply sit out later ticks. Throws
+// std::invalid_argument on null members or an invalid script.
+FleetResult run_fleet(std::span<const FleetLink> links,
+                      const FleetConfig& cfg = {});
+
+}  // namespace libra::sim

@@ -56,88 +56,119 @@ Trajectory Trajectory::rotate(geom::Vec2 position, double from_deg,
                      {duration_ms, position, to_deg}});
 }
 
+SessionDriver::SessionDriver(env::Environment& environment,
+                             channel::Link& link,
+                             core::LinkController& controller,
+                             const SessionScript& script, bool keep_frame_log)
+    : environment_(&environment),
+      link_(&link),
+      controller_(&controller),
+      script_(script),
+      keep_frame_log_(keep_frame_log),
+      fading_(script.fading, script.fading_seed) {
+  if (!(script_.duration_ms > 0.0)) {
+    throw std::invalid_argument(
+        "SessionScript: duration_ms must be > 0, got " +
+        std::to_string(script_.duration_ms));
+  }
+}
+
+void SessionDriver::apply_dynamics(double t_ms) {
+  bool moved = false;
+  if (!script_.rx_trajectory.empty()) {
+    const Trajectory::Waypoint pose = script_.rx_trajectory.at(t_ms);
+    if (geom::distance(link_->rx().position(), pose.position) > 1e-6 ||
+        std::abs(geom::wrap_angle_deg(link_->rx().boresight_deg() -
+                                      pose.boresight_deg)) > 1e-6) {
+      link_->rx().set_position(pose.position);
+      link_->rx().set_boresight_deg(pose.boresight_deg);
+      moved = true;
+    }
+  }
+  environment_->clear_blockers();
+  for (const BlockageEpisode& ep : script_.blockage) {
+    if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
+      environment_->add_blocker(ep.blocker);
+    }
+  }
+  bool interferer_set = false;
+  for (const InterferenceEpisode& ep : script_.interference) {
+    if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
+      link_->set_interferer(ep.interferer);
+      interferer_set = true;
+      break;
+    }
+  }
+  if (!interferer_set) link_->set_interferer(std::nullopt);
+  if (moved) link_->refresh();
+}
+
+void SessionDriver::start(util::Rng& rng) {
+  apply_dynamics(0.0);
+  controller_->start(rng);
+  last_t_ms_ = controller_->time_ms();
+}
+
+core::DecisionRequest SessionDriver::observe(util::Rng& rng) {
+  apply_dynamics(controller_->time_ms());
+  if (script_.fading.sigma_db > 0.0) {
+    link_->set_fade_db(fading_.advance(controller_->time_ms() - last_t_ms_));
+    last_t_ms_ = controller_->time_ms();
+  }
+  return controller_->observe(rng);
+}
+
+void SessionDriver::apply(trace::Action verdict,
+                          core::DecisionRequest& request, util::Rng& rng) {
+  controller_->apply(verdict, request, rng);
+  const core::FrameReport& report = request.report;
+  ++result_.frames;
+  goodput_sum_ += report.goodput_mbps;
+  result_.bytes_mb += report.goodput_mbps * report.duration_ms / 8000.0;
+  if (report.action == trace::Action::kBA) ++result_.adaptations_ba;
+  if (report.action == trace::Action::kRA) ++result_.adaptations_ra;
+
+  constexpr int kOutageFrames = 3;
+  const bool frame_ok = report.goodput_mbps > 150.0;
+  if (!frame_ok) {
+    if (dead_frames_ == 0) outage_start_ = report.t_ms;
+    ++dead_frames_;
+    if (dead_frames_ == kOutageFrames) {
+      in_outage_ = true;
+      ++result_.outages;
+    }
+  } else {
+    if (in_outage_) {
+      in_outage_ = false;
+      result_.total_outage_ms += report.t_ms - outage_start_;
+    }
+    dead_frames_ = 0;
+  }
+  if (keep_frame_log_) result_.frame_log.push_back(report);
+}
+
+SessionResult SessionDriver::finish() {
+  if (in_outage_) {
+    in_outage_ = false;
+    result_.total_outage_ms += controller_->time_ms() - outage_start_;
+  }
+  result_.avg_goodput_mbps =
+      result_.frames > 0 ? goodput_sum_ / result_.frames : 0.0;
+  return std::move(result_);
+}
+
 SessionResult run_session(env::Environment& environment, channel::Link& link,
                           core::LinkController& controller,
                           const SessionScript& script, util::Rng& rng,
                           bool keep_frame_log) {
-  SessionResult result;
-
-  const auto apply_dynamics = [&](double t_ms) {
-    bool moved = false;
-    if (!script.rx_trajectory.empty()) {
-      const Trajectory::Waypoint pose = script.rx_trajectory.at(t_ms);
-      if (geom::distance(link.rx().position(), pose.position) > 1e-6 ||
-          std::abs(geom::wrap_angle_deg(link.rx().boresight_deg() -
-                                        pose.boresight_deg)) > 1e-6) {
-        link.rx().set_position(pose.position);
-        link.rx().set_boresight_deg(pose.boresight_deg);
-        moved = true;
-      }
-    }
-    environment.clear_blockers();
-    for (const BlockageEpisode& ep : script.blockage) {
-      if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
-        environment.add_blocker(ep.blocker);
-      }
-    }
-    bool interferer_set = false;
-    for (const InterferenceEpisode& ep : script.interference) {
-      if (t_ms >= ep.start_ms && t_ms < ep.end_ms) {
-        link.set_interferer(ep.interferer);
-        interferer_set = true;
-        break;
-      }
-    }
-    if (!interferer_set) link.set_interferer(std::nullopt);
-    if (moved) link.refresh();
-  };
-
-  apply_dynamics(0.0);
-  controller.start(rng);
-
-  channel::FadingProcess fading(script.fading, script.fading_seed);
-  double goodput_sum = 0.0;
-  bool in_outage = false;
-  int dead_frames = 0;
-  constexpr int kOutageFrames = 3;
-  double outage_start = 0.0;
-  double last_t_ms = controller.time_ms();
-  while (controller.time_ms() < script.duration_ms) {
-    apply_dynamics(controller.time_ms());
-    if (script.fading.sigma_db > 0.0) {
-      link.set_fade_db(fading.advance(controller.time_ms() - last_t_ms));
-      last_t_ms = controller.time_ms();
-    }
-    const core::FrameReport report = controller.step(rng);
-    ++result.frames;
-    goodput_sum += report.goodput_mbps;
-    result.bytes_mb += report.goodput_mbps * report.duration_ms / 8000.0;
-    if (report.action == trace::Action::kBA) ++result.adaptations_ba;
-    if (report.action == trace::Action::kRA) ++result.adaptations_ra;
-
-    const bool frame_ok = report.goodput_mbps > 150.0;
-    if (!frame_ok) {
-      if (dead_frames == 0) outage_start = report.t_ms;
-      ++dead_frames;
-      if (dead_frames == kOutageFrames) {
-        in_outage = true;
-        ++result.outages;
-      }
-    } else {
-      if (in_outage) {
-        in_outage = false;
-        result.total_outage_ms += report.t_ms - outage_start;
-      }
-      dead_frames = 0;
-    }
-    if (keep_frame_log) result.frame_log.push_back(report);
+  SessionDriver driver(environment, link, controller, script, keep_frame_log);
+  driver.start(rng);
+  while (!driver.done()) {
+    core::DecisionRequest request = driver.observe(rng);
+    const trace::Action verdict = controller.decide(request, rng);
+    driver.apply(verdict, request, rng);
   }
-  if (in_outage) {
-    result.total_outage_ms += controller.time_ms() - outage_start;
-  }
-  result.avg_goodput_mbps =
-      result.frames > 0 ? goodput_sum / result.frames : 0.0;
-  return result;
+  return driver.finish();
 }
 
 }  // namespace libra::sim

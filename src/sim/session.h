@@ -91,6 +91,50 @@ struct SessionResult {
   std::vector<core::FrameReport> frame_log;  // filled when requested
 };
 
+// One link's scripted session, advanced tick by tick: scripted dynamics and
+// fading before each frame, outage/goodput accounting after. run_session()
+// drives one of these to completion; sim::run_fleet() (sim/fleet.h) drives
+// N of them in lockstep with a batched decision phase between observe and
+// apply. Mutates the environment's blockers and the link's interferer per
+// the episodes and moves the Rx along the trajectory. Throws
+// std::invalid_argument on a script with duration_ms <= 0.
+class SessionDriver {
+ public:
+  SessionDriver(env::Environment& environment, channel::Link& link,
+                core::LinkController& controller, const SessionScript& script,
+                bool keep_frame_log = false);
+
+  // Initial association (applies the t = 0 dynamics first).
+  void start(util::Rng& rng);
+  bool done() const { return controller_->time_ms() >= script_.duration_ms; }
+
+  // Phase 1 of one tick: dynamics + fading, then transmit one frame.
+  core::DecisionRequest observe(util::Rng& rng);
+  // Phase 3: run the verdict through the controller and account the frame.
+  void apply(trace::Action verdict, core::DecisionRequest& request,
+             util::Rng& rng);
+  // Final accounting; call once after done().
+  SessionResult finish();
+
+  core::LinkController& controller() { return *controller_; }
+
+ private:
+  void apply_dynamics(double t_ms);
+
+  env::Environment* environment_;       // non-owning
+  channel::Link* link_;                 // non-owning
+  core::LinkController* controller_;    // non-owning
+  SessionScript script_;
+  bool keep_frame_log_;
+  channel::FadingProcess fading_;
+  SessionResult result_;
+  double goodput_sum_ = 0.0;
+  bool in_outage_ = false;
+  int dead_frames_ = 0;
+  double outage_start_ = 0.0;
+  double last_t_ms_ = 0.0;
+};
+
 // Drive a controller through the script. The session mutates the
 // environment's blockers and the link's interferer according to the
 // episodes and moves the Rx along the trajectory.

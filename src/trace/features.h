@@ -18,6 +18,8 @@
 #include <algorithm>
 #include <array>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -63,6 +65,22 @@ struct FeatureVector {
 };
 
 inline FeatureVector extract_features(const CaseRecord& rec) {
+  // The CDR lookup below indexes with init_mcs; a hand-built or corrupted
+  // record must fail loudly instead of reading out of bounds.
+  const std::vector<double>& cdr = rec.new_at_init_pair.cdr;
+  if (rec.init_mcs < 0 ||
+      static_cast<std::size_t>(rec.init_mcs) >= cdr.size()) {
+    throw std::invalid_argument(
+        "extract_features: init_mcs " + std::to_string(rec.init_mcs) +
+        " out of range for a CDR vector of " + std::to_string(cdr.size()) +
+        " entries");
+  }
+  if (cdr.size() != rec.new_at_init_pair.throughput_mbps.size()) {
+    throw std::invalid_argument(
+        "extract_features: CDR vector has " + std::to_string(cdr.size()) +
+        " entries but throughput has " +
+        std::to_string(rec.new_at_init_pair.throughput_mbps.size()));
+  }
   FeatureVector f;
   f.v[0] = rec.init_best.snr_db - rec.new_at_init_pair.snr_db;
   if (rec.init_best.tof_ns && rec.new_at_init_pair.tof_ns) {
@@ -73,7 +91,7 @@ inline FeatureVector extract_features(const CaseRecord& rec) {
   f.v[2] = rec.new_at_init_pair.noise_dbm - rec.init_best.noise_dbm;
   f.v[3] = aligned_pdp_similarity(rec.init_best.pdp, rec.new_at_init_pair.pdp);
   f.v[4] = util::pearson(rec.init_best.csi, rec.new_at_init_pair.csi);
-  f.v[5] = rec.new_at_init_pair.cdr[static_cast<std::size_t>(rec.init_mcs)];
+  f.v[5] = cdr[static_cast<std::size_t>(rec.init_mcs)];
   f.v[6] = static_cast<double>(rec.init_mcs);
   return f;
 }

@@ -195,6 +195,85 @@ TEST_F(LiveFixture, UpProbingRecoversAfterBlockerLeaves) {
   EXPECT_GE(ctrl.mcs(), healthy - 1);
 }
 
+TEST_F(LiveFixture, ConfigRejectsNonPositiveFat) {
+  core::ControllerConfig cfg;
+  cfg.fat_ms = 0.0;
+  EXPECT_THROW(core::RaFirstController(&link, &em, cfg),
+               std::invalid_argument);
+  cfg.fat_ms = -1.0;
+  EXPECT_THROW(core::RaFirstController(&link, &em, cfg),
+               std::invalid_argument);
+}
+
+// The compatibility contract of the observe/decide/apply split: driving the
+// phases by hand is bit-identical to step(), frame for frame, through
+// steady state, a blockage, the RA walk and the fallback BA.
+TEST(ObserveDecideApply, PhasesMatchStepBitForBit) {
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+  array::Codebook codebook;
+
+  env::Environment env_a = env::make_lobby();
+  env::Environment env_b = env::make_lobby();
+  array::PhasedArray tx_a({2, 6}, 0.0, &codebook), tx_b({2, 6}, 0.0, &codebook);
+  array::PhasedArray rx_a({10, 6}, 180.0, &codebook),
+      rx_b({10, 6}, 180.0, &codebook);
+  channel::Link link_a(&env_a, &tx_a, &rx_a);
+  channel::Link link_b(&env_b, &tx_b, &rx_b);
+  core::LibraController stepped(&link_a, &em, &test_classifier(), {});
+  core::LibraController phased(&link_b, &em, &test_classifier(), {});
+
+  util::Rng rng_a(21), rng_b(21);
+  stepped.start(rng_a);
+  phased.start(rng_b);
+  for (int i = 0; i < 150; ++i) {
+    if (i == 40) {
+      // Same impairment in both worlds, mid-run: exercises the decision,
+      // the walk and the recovery paths of both drivers.
+      env_a.add_blocker({{6, 6}, 0.3, 35.0});
+      env_b.add_blocker({{6, 6}, 0.3, 35.0});
+    }
+    const core::FrameReport a = stepped.step(rng_a);
+    core::DecisionRequest request = phased.observe(rng_b);
+    const trace::Action verdict = phased.decide(request, rng_b);
+    phased.apply(verdict, request, rng_b);
+    const core::FrameReport& b = request.report;
+
+    ASSERT_EQ(a.t_ms, b.t_ms) << "frame " << i;
+    ASSERT_EQ(a.duration_ms, b.duration_ms) << "frame " << i;
+    ASSERT_EQ(a.tx_beam, b.tx_beam) << "frame " << i;
+    ASSERT_EQ(a.rx_beam, b.rx_beam) << "frame " << i;
+    ASSERT_EQ(a.mcs, b.mcs) << "frame " << i;
+    ASSERT_EQ(a.goodput_mbps, b.goodput_mbps) << "frame " << i;
+    ASSERT_EQ(a.ack, b.ack) << "frame " << i;
+    ASSERT_EQ(a.action, b.action) << "frame " << i;
+  }
+  EXPECT_EQ(stepped.mcs(), phased.mcs());
+  EXPECT_EQ(stepped.tx_beam(), phased.tx_beam());
+  EXPECT_EQ(stepped.time_ms(), phased.time_ms());
+}
+
+TEST_F(LiveFixture, WalkFramesCarryNoDecision) {
+  core::RaFirstController ctrl(&link, &em, {});
+  util::Rng rng(22);
+  ctrl.start(rng);
+  // Full blockage forces the RA walk; while walking, observe() must mark
+  // the frame as not decision-due and apply() must leave the report alone.
+  lobby.add_blocker({{6, 6}, 0.3, 40.0});
+  bool saw_walk_frame = false;
+  for (int i = 0; i < 40; ++i) {
+    core::DecisionRequest request = ctrl.observe(rng);
+    const trace::Action verdict = ctrl.decide(request, rng);
+    if (!request.decision_due) {
+      saw_walk_frame = true;
+      EXPECT_FALSE(request.needs_inference());
+      EXPECT_EQ(verdict, trace::Action::kNA);
+    }
+    ctrl.apply(verdict, request, rng);
+  }
+  EXPECT_TRUE(saw_walk_frame);
+}
+
 TEST_F(LiveFixture, LibraControllerNeedsClassifier) {
   EXPECT_THROW(core::LibraController(&link, &em, nullptr),
                std::invalid_argument);
@@ -281,6 +360,18 @@ TEST_F(LiveFixture, WalkSessionKeepsLinkAlive) {
   const auto r = sim::run_session(lobby, link, ctrl, script, rng);
   EXPECT_GT(r.avg_goodput_mbps, 300.0);
   EXPECT_LT(r.total_outage_ms, 1500.0);
+}
+
+TEST_F(LiveFixture, SessionRejectsNonPositiveDuration) {
+  core::RaFirstController ctrl(&link, &em, {});
+  sim::SessionScript script;
+  script.duration_ms = 0.0;
+  util::Rng rng(14);
+  EXPECT_THROW(sim::run_session(lobby, link, ctrl, script, rng),
+               std::invalid_argument);
+  script.duration_ms = -100.0;
+  EXPECT_THROW(sim::run_session(lobby, link, ctrl, script, rng),
+               std::invalid_argument);
 }
 
 TEST_F(LiveFixture, SessionFrameLogOnlyWhenRequested) {

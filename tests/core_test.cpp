@@ -231,6 +231,76 @@ TEST(LibraClassifier, VoteFractionsSumToOne) {
   EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
+// The fleet-serving contract: a batched call over N rows, each jittered
+// from its own stream, must return exactly what N serial classify() calls
+// fed clones of those streams return.
+TEST(LibraClassifier, ClassifyBatchBitIdenticalToSerial) {
+  LibraClassifier clf;
+  util::Rng train_rng(4);
+  clf.train(tiny_dataset(), {}, train_rng);
+
+  const trace::Dataset ds = tiny_dataset();
+  std::vector<trace::FeatureVector> rows;
+  for (const auto& rec : ds.records) rows.push_back(extract_features(rec));
+  for (const auto& rec : ds.na_records) rows.push_back(extract_features(rec));
+
+  std::vector<util::Rng> batch_streams, serial_streams;
+  std::vector<util::Rng*> batch_ptrs;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    batch_streams.emplace_back(100 + i);
+    serial_streams.emplace_back(100 + i);
+  }
+  for (util::Rng& s : batch_streams) batch_ptrs.push_back(&s);
+
+  const std::vector<trace::Action> batched = clf.classify_batch(rows, batch_ptrs);
+  ASSERT_EQ(batched.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batched[i], clf.classify(rows[i], serial_streams[i]))
+        << "row " << i;
+  }
+  // The streams must have advanced identically too (same draw count).
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch_streams[i].uniform(0, 1), serial_streams[i].uniform(0, 1))
+        << "stream " << i;
+  }
+}
+
+TEST(LibraClassifier, ClassifyBatchHonorsConfidenceGatePerRow) {
+  core::LibraClassifierConfig cfg;
+  cfg.min_confidence = 1.01;  // impossible: every adaptation demoted to NA
+  LibraClassifier gated(cfg);
+  util::Rng rng(5);
+  gated.train(tiny_dataset(), {}, rng);
+
+  const trace::FeatureVector ba =
+      trace::extract_features(tiny_dataset().records[0]);
+  std::vector<trace::FeatureVector> rows(3, ba);
+  std::vector<util::Rng> streams;
+  std::vector<util::Rng*> ptrs;
+  for (int i = 0; i < 3; ++i) streams.emplace_back(200 + i);
+  for (util::Rng& s : streams) ptrs.push_back(&s);
+  for (const trace::Action a : gated.classify_batch(rows, ptrs)) {
+    EXPECT_EQ(a, trace::Action::kNA);
+  }
+}
+
+TEST(LibraClassifier, ClassifyBatchValidatesInputs) {
+  LibraClassifier clf;
+  util::Rng rng(6);
+  std::vector<trace::FeatureVector> rows(2);
+  std::vector<util::Rng> streams;
+  streams.emplace_back(1);
+  std::vector<util::Rng*> one_ptr{&streams[0]};
+  // Untrained first.
+  EXPECT_THROW(clf.classify_batch(rows, one_ptr), std::logic_error);
+  clf.train(tiny_dataset(), {}, rng);
+  // Two rows, one stream.
+  EXPECT_THROW(clf.classify_batch(rows, one_ptr), std::invalid_argument);
+  // Null stream.
+  std::vector<util::Rng*> with_null{&streams[0], nullptr};
+  EXPECT_THROW(clf.classify_batch(rows, with_null), std::invalid_argument);
+}
+
 TEST(LibraClassifier, UntrainedThrows) {
   LibraClassifier clf;
   util::Rng rng(1);

@@ -228,6 +228,38 @@ TEST(ModelIo, ForestRoundTripPredictsIdentically) {
   }
 }
 
+// A deployed fleet ships its forest in firmware: the serialized model must
+// restore with bit-identical per-class vote fractions (not just argmax
+// predictions) on rows it never saw, or confidence gating drifts.
+TEST(ModelIo, ThreeClassForestRoundTripVotesBitIdentical) {
+  ml::DataSet train(4), held_out(4);
+  util::Rng rng(7);
+  for (int i = 0; i < 240; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    const std::vector<double> row{y * 2.0 + rng.gaussian(0, 0.6),
+                                  rng.gaussian(0, 1.0),
+                                  y - rng.gaussian(0, 0.4),
+                                  rng.uniform(-1, 1)};
+    (i % 4 == 0 ? held_out : train).add(row, y);
+  }
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = 24;
+  ml::RandomForest forest(cfg);
+  forest.fit(train, rng);
+
+  std::stringstream stream;
+  ml::save_forest(forest, stream);
+  const ml::RandomForest back = ml::load_forest(stream);
+  ASSERT_EQ(back.num_classes(), 3);
+  ASSERT_EQ(back.trees().size(), forest.trees().size());
+  for (std::size_t i = 0; i < held_out.size(); ++i) {
+    const std::vector<double> a = forest.vote_fractions(held_out.row(i));
+    const std::vector<double> b = back.vote_fractions(held_out.row(i));
+    ASSERT_EQ(a, b) << "held-out row " << i;  // exact, not approximate
+  }
+  EXPECT_EQ(back.feature_importances(), forest.feature_importances());
+}
+
 TEST(ModelIo, RejectsGarbageAndDanglingIndices) {
   std::stringstream garbage("nope");
   EXPECT_THROW(ml::load_tree(garbage), std::runtime_error);
@@ -309,6 +341,20 @@ TEST(OnlineLibra, AdaptsToDeploymentDistribution) {
   const trace::FeatureVector f =
       trace::extract_features(drifted_ba_case(999));
   EXPECT_EQ(online.classify(f, rng), trace::Action::kBA);
+}
+
+TEST(OnlineLibra, RejectsDegenerateConfig) {
+  core::OnlineLibraConfig cfg;
+  cfg.window_size = 0;
+  EXPECT_THROW(core::OnlineLibra{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.retrain_every = 0;
+  EXPECT_THROW(core::OnlineLibra{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.local_weight = -1;
+  EXPECT_THROW(core::OnlineLibra{cfg}, std::invalid_argument);
+  cfg = {};  // defaults are valid
+  EXPECT_NO_THROW(core::OnlineLibra{cfg});
 }
 
 TEST(OnlineLibra, WindowIsBounded) {

@@ -1,0 +1,197 @@
+// Fleet serving (sim/fleet.h): the lockstep batched decision engine must be
+// an exact refactoring of N independent sessions -- same per-link results,
+// bit for bit, for any forest thread count.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "env/registry.h"
+#include "sim/fleet.h"
+#include "test_helpers.h"
+
+namespace libra {
+namespace {
+
+using libra::testing::make_record;
+
+// A trained 3-class classifier over clearly separated synthetic cases,
+// with a multi-threaded forest: the fleet contract must hold under
+// parallel batched inference.
+const core::LibraClassifier& fleet_classifier() {
+  static const core::LibraClassifier clf = [] {
+    trace::Dataset ds;
+    for (int i = 0; i < 40; ++i) {
+      trace::CaseRecord ba = make_record(4, -1, 4);
+      ba.init_best.snr_db = 20.0;
+      ba.new_at_init_pair.snr_db = 5.0 - 0.1 * (i % 5);
+      ba.new_at_init_pair.tof_ns = std::nullopt;
+      ds.records.push_back(ba);
+      trace::CaseRecord ra = make_record(8, 5, 5);
+      ra.init_best.snr_db = 26.0;
+      ra.init_best.tof_ns = 20.0;
+      ra.new_at_init_pair.snr_db = 19.0 - 0.1 * (i % 7);
+      ra.new_at_init_pair.tof_ns = 45.0;
+      ds.records.push_back(ra);
+      trace::CaseRecord na = make_record(6, 6, 6);
+      na.forced_na = true;
+      na.init_best.snr_db = 22.0;
+      na.new_at_init_pair.snr_db = 22.0 - 0.05 * (i % 3);
+      ds.na_records.push_back(na);
+    }
+    core::LibraClassifierConfig cfg;
+    cfg.forest.num_threads = 4;  // num_threads = K in the fleet contract
+    core::LibraClassifier c(cfg);
+    util::Rng rng(1);
+    c.train(ds, {}, rng);
+    return c;
+  }();
+  return clf;
+}
+
+const phy::ErrorModel& shared_error_model() {
+  static const phy::McsTable table;
+  static const phy::ErrorModel em(&table);
+  return em;
+}
+
+// One station's whole world, self-contained so fleet and serial reference
+// runs can each build an identical fresh copy.
+struct Station {
+  env::Environment env;
+  array::PhasedArray ap;
+  array::PhasedArray client;
+  channel::Link link;
+  std::unique_ptr<core::LinkController> controller;
+  sim::SessionScript script;
+
+  Station(const array::Codebook* codebook, geom::Vec2 client_pos, bool libra)
+      : env(env::make_lobby()),
+        ap({2, 6}, 0.0, codebook),
+        client(client_pos, 180.0, codebook),
+        link(&env, &ap, &client) {
+    if (libra) {
+      controller = std::make_unique<core::LibraController>(
+          &link, &shared_error_model(), &fleet_classifier());
+    } else {
+      controller = std::make_unique<core::RaFirstController>(
+          &link, &shared_error_model(), core::ControllerConfig{});
+    }
+  }
+};
+
+// A 4-station mixed fleet with per-station impairments and staggered
+// session lengths (station 3 finishes early and sits out later ticks).
+std::vector<std::unique_ptr<Station>> build_stations(
+    const array::Codebook* codebook) {
+  std::vector<std::unique_ptr<Station>> stations;
+  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{10, 6},
+                                               /*libra=*/true));
+  stations[0]->script.duration_ms = 2000.0;
+  stations[0]->script.rx_trajectory =
+      sim::Trajectory::stationary({10, 6}, 180.0);
+  stations[0]->script.blockage.push_back({600.0, 1400.0, {{6, 6}, 0.3, 35.0}});
+
+  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{12, 7},
+                                               /*libra=*/true));
+  stations[1]->script.duration_ms = 2000.0;
+  stations[1]->script.rx_trajectory =
+      sim::Trajectory::walk({12, 7}, {18, 8}, 2000.0, geom::Vec2{2, 6});
+
+  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{9, 5},
+                                               /*libra=*/false));
+  stations[2]->script.duration_ms = 2000.0;
+  stations[2]->script.rx_trajectory =
+      sim::Trajectory::stationary({9, 5}, 180.0);
+  stations[2]->script.interference.push_back(
+      {500.0, 1500.0, {{10, 1}, 50.0, 0.5}});
+
+  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{11, 6},
+                                               /*libra=*/true));
+  stations[3]->script.duration_ms = 800.0;  // early finisher
+  stations[3]->script.rx_trajectory =
+      sim::Trajectory::stationary({11, 6}, 180.0);
+  return stations;
+}
+
+TEST(Fleet, BitIdenticalToIndependentSessions) {
+  const array::Codebook codebook;
+  constexpr std::uint64_t kSeed = 77;
+
+  // Fleet run: lockstep ticks, batched inference.
+  auto fleet_stations = build_stations(&codebook);
+  std::vector<sim::FleetLink> members;
+  for (auto& s : fleet_stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  sim::FleetConfig cfg;
+  cfg.seed = kSeed;
+  cfg.keep_frame_logs = true;
+  const sim::FleetResult fleet = sim::run_fleet(members, cfg);
+  ASSERT_EQ(fleet.links.size(), fleet_stations.size());
+  EXPECT_GT(fleet.ticks, 0);
+  EXPECT_GT(fleet.batched_rows, 0);  // the LiBRA stations used the engine
+  EXPECT_EQ(fleet.tick_latency_us.count(),
+            static_cast<std::size_t>(fleet.ticks));
+
+  // Serial reference: independent sessions on the same forked streams.
+  auto serial_stations = build_stations(&codebook);
+  util::Rng fleet_rng(kSeed);
+  for (std::size_t i = 0; i < serial_stations.size(); ++i) {
+    util::Rng link_rng = fleet_rng.fork();
+    Station& s = *serial_stations[i];
+    const sim::SessionResult serial = sim::run_session(
+        s.env, s.link, *s.controller, s.script, link_rng,
+        /*keep_frame_log=*/true);
+    const sim::SessionResult& batched = fleet.links[i];
+
+    EXPECT_EQ(batched.frames, serial.frames) << "link " << i;
+    EXPECT_EQ(batched.bytes_mb, serial.bytes_mb) << "link " << i;
+    EXPECT_EQ(batched.avg_goodput_mbps, serial.avg_goodput_mbps)
+        << "link " << i;
+    EXPECT_EQ(batched.adaptations_ba, serial.adaptations_ba) << "link " << i;
+    EXPECT_EQ(batched.adaptations_ra, serial.adaptations_ra) << "link " << i;
+    EXPECT_EQ(batched.outages, serial.outages) << "link " << i;
+    EXPECT_EQ(batched.total_outage_ms, serial.total_outage_ms)
+        << "link " << i;
+    ASSERT_EQ(batched.frame_log.size(), serial.frame_log.size())
+        << "link " << i;
+    for (std::size_t fidx = 0; fidx < serial.frame_log.size(); ++fidx) {
+      const core::FrameReport& a = batched.frame_log[fidx];
+      const core::FrameReport& b = serial.frame_log[fidx];
+      ASSERT_EQ(a.t_ms, b.t_ms) << "link " << i << " frame " << fidx;
+      ASSERT_EQ(a.mcs, b.mcs) << "link " << i << " frame " << fidx;
+      ASSERT_EQ(a.goodput_mbps, b.goodput_mbps)
+          << "link " << i << " frame " << fidx;
+      ASSERT_EQ(a.ack, b.ack) << "link " << i << " frame " << fidx;
+      ASSERT_EQ(a.action, b.action) << "link " << i << " frame " << fidx;
+    }
+  }
+}
+
+TEST(Fleet, EmptyFleetFinishesImmediately) {
+  const sim::FleetResult result = sim::run_fleet({}, {});
+  EXPECT_TRUE(result.links.empty());
+  EXPECT_EQ(result.ticks, 0);
+  EXPECT_EQ(result.batched_rows, 0);
+}
+
+TEST(Fleet, NullMembersThrow) {
+  sim::FleetLink bad;  // all nullptrs
+  std::vector<sim::FleetLink> members{bad};
+  EXPECT_THROW(sim::run_fleet(members, {}), std::invalid_argument);
+}
+
+TEST(Fleet, InvalidScriptThrows) {
+  const array::Codebook codebook;
+  Station station(&codebook, {10, 6}, /*libra=*/false);
+  station.script.duration_ms = 0.0;
+  std::vector<sim::FleetLink> members;
+  members.push_back({&station.env, &station.link, station.controller.get(),
+                     station.script});
+  EXPECT_THROW(sim::run_fleet(members, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace libra

@@ -75,6 +75,18 @@ TEST(DataSet, Subset) {
   EXPECT_DOUBLE_EQ(s.row(1)[0], 2.0);
 }
 
+TEST(DataSet, ReserveDoesNotChangeContents) {
+  DataSet d(3);
+  d.reserve(100);
+  EXPECT_TRUE(d.empty());
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{double(i), double(i) + 0.5, -double(i)}, i % 3);
+  }
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_DOUBLE_EQ(d.row(42)[1], 42.5);
+  EXPECT_EQ(d.label(99), 0);
+}
+
 TEST(Standardizer, ZeroMeanUnitVariance) {
   DataSet d(2);
   util::Rng rng(1);

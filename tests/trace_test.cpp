@@ -327,6 +327,20 @@ TEST(Features, NamesMatchTable3Order) {
   EXPECT_EQ(FeatureVector::kDim, 7);
 }
 
+TEST(Features, OutOfRangeInitMcsThrows) {
+  CaseRecord rec = make_record(6, 3, 5);
+  rec.init_mcs = static_cast<int>(rec.new_at_init_pair.cdr.size());
+  EXPECT_THROW(extract_features(rec), std::invalid_argument);
+  rec.init_mcs = -1;
+  EXPECT_THROW(extract_features(rec), std::invalid_argument);
+}
+
+TEST(Features, MismatchedCdrThroughputThrows) {
+  CaseRecord rec = make_record(6, 3, 5);
+  rec.new_at_init_pair.throughput_mbps.pop_back();
+  EXPECT_THROW(extract_features(rec), std::invalid_argument);
+}
+
 // ---------- dataset ----------
 
 TEST(Dataset, LabeledMatchesRecords) {
