@@ -13,6 +13,8 @@
 #include "ml/decision_tree.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/thread_pool.h"
 #include "phy/error_model.h"
 #include "phy/pdp.h"
@@ -234,6 +236,29 @@ BENCHMARK(BM_FleetClassifyBatch)
     ->Args({128, 4})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
+
+// Telemetry overhead at a representative instrumentation site: one span,
+// one counter bump, one histogram observation per iteration. Arg(0) = the
+// runtime null-sink (set_enabled(false) early-out), Arg(1) = recording.
+// The delta is the per-site cost run_fleet and classify_batch pay.
+void BM_ObsOverhead(benchmark::State& state) {
+  const bool record = state.range(0) != 0;
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& counter = reg.counter("bench.obs_overhead.count");
+  obs::Histogram& hist = reg.histogram("bench.obs_overhead.value");
+  obs::set_enabled(record);
+  double v = 0.0;
+  for (auto _ : state) {
+    OBS_SPAN("bench.obs_overhead");
+    counter.inc();
+    hist.observe(v);
+    v += 1.0;
+    benchmark::DoNotOptimize(v);
+  }
+  obs::set_enabled(true);
+  obs::TraceBuffer::global().clear();  // don't pollute later exports
+}
+BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
 
 void BM_RayTraceLobby(benchmark::State& state) {
   const env::Environment lobby = env::make_lobby();

@@ -4,18 +4,25 @@
 // one beam, a jammer near another), the fleet gathers the pending feature
 // rows, and a single batched forest pass returns every verdict -- the
 // multi-STA deployment the observe/decide/apply split exists for.
+//
+// Usage: fleet_serving [--trace-out FILE]
+//   --trace-out FILE   write the run's trace spans as Chrome trace-event
+//                      JSON (open in Perfetto or chrome://tracing)
 #include <cstdio>
 #include <vector>
 
 #include "core/controller.h"
 #include "env/registry.h"
+#include "obs/span.h"
 #include "phy/error_model.h"
 #include "sim/fleet.h"
 #include "trace/dataset.h"
+#include "util/cli.h"
 
 using namespace libra;
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args = util::CliArgs::parse(argc, argv);
   phy::McsTable table;
   phy::ErrorModel em(&table);
   const trace::Dataset training =
@@ -80,5 +87,16 @@ int main() {
               "%zu ticks\n",
               result.tick_latency_us.mean(), result.tick_latency_us.min(),
               result.tick_latency_us.max(), result.tick_latency_us.count());
+
+  // The scrape rode back on the result; dump it like a /metrics endpoint.
+  std::printf("\n--- telemetry scrape ---\n%s",
+              result.metrics.to_text().c_str());
+
+  const std::string trace_path = args.str("trace-out");
+  if (!trace_path.empty()) {
+    obs::TraceBuffer::global().write_chrome_json(trace_path);
+    std::printf("wrote %zu trace events to %s\n",
+                obs::TraceBuffer::global().event_count(), trace_path.c_str());
+  }
   return 0;
 }

@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace libra::core {
+
+namespace {
+// Inference-serving telemetry: how many rows ride each batch, how long one
+// batched pass takes, and the single-row rate for comparison.
+struct ClassifierMetrics {
+  obs::Counter& classifies;
+  obs::Counter& batch_calls;
+  obs::Counter& rows;
+  obs::Histogram& batch_size;
+  obs::Histogram& batch_latency_us;
+};
+ClassifierMetrics& classifier_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static ClassifierMetrics m{r.counter("classifier.classifies"),
+                             r.counter("classifier.batch_calls"),
+                             r.counter("classifier.rows"),
+                             r.histogram("classifier.batch_size"),
+                             r.histogram("classifier.batch_latency_us")};
+  return m;
+}
+}  // namespace
 
 LibraClassifier::LibraClassifier(LibraClassifierConfig cfg)
     : cfg_(cfg), forest_(cfg.forest) {}
@@ -64,6 +87,7 @@ trace::Action LibraClassifier::verdict_from_votes(
 trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
                                         util::Rng& rng) const {
   if (!trained_) throw std::logic_error("classifier not trained");
+  classifier_metrics().classifies.inc();
   const trace::FeatureVector noisy = add_window_noise(features, rng);
   return verdict_from_votes(forest_.vote_fractions(noisy.v));
 }
@@ -77,6 +101,11 @@ std::vector<trace::Action> LibraClassifier::classify_batch(
         "classify_batch: " + std::to_string(features.size()) +
         " feature rows but " + std::to_string(rngs.size()) + " rng streams");
   }
+  ClassifierMetrics& metrics = classifier_metrics();
+  OBS_SPAN("classifier.classify_batch", &metrics.batch_latency_us);
+  metrics.batch_calls.inc();
+  metrics.rows.inc(features.size());
+  metrics.batch_size.observe(static_cast<double>(features.size()));
   // Jitter serially in row order -- each row consumes only its own link's
   // stream, so the batch boundary never changes what any link draws.
   ml::DataSet rows(trace::FeatureVector::kDim);

@@ -1,11 +1,49 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.h"
 #include "util/stats.h"
 
 namespace libra::core {
+
+namespace {
+// Decision-mix telemetry: how often each verdict fires across every
+// controller, plus the missing-ACK fallback rate.
+struct VerdictCounters {
+  obs::Counter& ba;
+  obs::Counter& ra;
+  obs::Counter& na;
+  obs::Counter& no_ack_fallbacks;
+};
+VerdictCounters& verdict_counters() {
+  obs::Registry& r = obs::Registry::global();
+  static VerdictCounters c{r.counter("controller.verdict.ba"),
+                           r.counter("controller.verdict.ra"),
+                           r.counter("controller.verdict.na"),
+                           r.counter("controller.no_ack_fallbacks")};
+  return c;
+}
+
+// MCS occupancy: frames transmitted at each MCS index (one counter per
+// MCS, pre-registered so the per-frame path never builds a name).
+obs::Counter& mcs_occupancy_counter(phy::McsIndex mcs) {
+  constexpr int kMaxTracked = 16;
+  static const std::array<obs::Counter*, kMaxTracked> counters = [] {
+    std::array<obs::Counter*, kMaxTracked> a{};
+    for (int m = 0; m < kMaxTracked; ++m) {
+      a[static_cast<std::size_t>(m)] = &obs::Registry::global().counter(
+          "controller.mcs_occupancy." + std::to_string(m));
+    }
+    return a;
+  }();
+  const int idx = std::clamp(static_cast<int>(mcs), 0, kMaxTracked - 1);
+  return *counters[static_cast<std::size_t>(idx)];
+}
+}  // namespace
 
 LinkController::LinkController(channel::Link* link,
                                const phy::ErrorModel* error_model,
@@ -114,6 +152,7 @@ DecisionRequest LinkController::observe(util::Rng& rng) {
                                : link_->snr_clean_db(tx_beam_, rx_beam_);
 
   report.mcs = frame_mcs;
+  mcs_occupancy_counter(frame_mcs).inc();
   report.ack = ack_model_.ack_received(frame_mcs, frame_snr, rng);
   report.goodput_mbps =
       report.ack ? error_model_->expected_throughput_mbps(frame_mcs, frame_snr)
@@ -179,15 +218,19 @@ void LinkController::apply(trace::Action verdict, DecisionRequest& request,
   if (!request.decision_due) return;  // the walk already consumed the frame
   note_verdict(verdict, request);
   request.report.action = verdict;
+  VerdictCounters& counters = verdict_counters();
   switch (verdict) {
     case trace::Action::kBA:
+      counters.ba.inc();
       run_ba(rng);
       begin_ra_walk();
       break;
     case trace::Action::kRA:
+      counters.ra.inc();
       begin_ra_walk();
       break;
     case trace::Action::kNA: {
+      counters.na.inc();
       // Upward probing (shared by all policies, Sec. 8.1). To keep one
       // observation per frame, the prober's verdict applies to the next
       // frame's MCS.
@@ -236,6 +279,7 @@ void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
   (void)rng;
   if (persistent_ack_loss()) {
     // Missing ACKs: no fresh PHY metrics, the distilled rule fires.
+    verdict_counters().no_ack_fallbacks.inc();
     holdoff_frames_ = cfg_.post_adapt_holdoff_frames;
     request.precomputed = classifier_->no_ack_action(mcs_, cfg_.ba_overhead_ms);
     return;

@@ -5,7 +5,26 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace libra::ml {
+
+namespace {
+obs::Histogram& fit_latency_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("forest.fit_latency_us");
+  return h;
+}
+obs::Counter& trees_trained_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("forest.trees_trained");
+  return c;
+}
+obs::Counter& batch_rows_counter() {
+  static obs::Counter& c = obs::Registry::global().counter("forest.batch_rows");
+  return c;
+}
+}  // namespace
 
 RandomForest::RandomForest(RandomForestConfig cfg) : cfg_(cfg) {}
 
@@ -25,6 +44,9 @@ void RandomForest::fit(const DataSet& train, util::Rng& rng) {
   if (train.empty()) {
     throw std::invalid_argument("RandomForest::fit: empty training set");
   }
+  OBS_SPAN("forest.fit", &fit_latency_hist());
+  trees_trained_counter().inc(static_cast<std::uint64_t>(
+      std::max(0, cfg_.num_trees)));
   trees_.clear();
   num_classes_ = std::max(train.num_classes(), 2);
 
@@ -105,6 +127,8 @@ std::vector<double> RandomForest::vote_fractions(
 }
 
 std::vector<Label> RandomForest::predict_batch(const DataSet& data) const {
+  OBS_SPAN("forest.predict_batch");
+  batch_rows_counter().inc(data.size());
   std::vector<Label> out(data.size());
   util::parallel_for(pool(), data.size(),
                      [&](std::size_t i) { out[i] = predict(data.row(i)); });
@@ -113,6 +137,8 @@ std::vector<Label> RandomForest::predict_batch(const DataSet& data) const {
 
 std::vector<std::vector<double>> RandomForest::vote_fractions_batch(
     const DataSet& data) const {
+  OBS_SPAN("forest.vote_fractions_batch");
+  batch_rows_counter().inc(data.size());
   std::vector<std::vector<double>> out(data.size());
   util::parallel_for(pool(), data.size(), [&](std::size_t i) {
     out[i] = vote_fractions(data.row(i));

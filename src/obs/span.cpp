@@ -1,0 +1,141 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace libra::obs {
+
+std::uint64_t trace_now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+// One thread's ring. Only the owner writes events and publishes `head`
+// with a release store; readers acquire-load `head` and walk the completed
+// prefix, so export sees fully written events.
+struct Ring {
+  std::array<TraceEvent, kTraceRingCapacity> events;
+  std::atomic<std::uint64_t> head{0};
+  std::uint32_t tid = 0;
+};
+
+struct RingCacheEntry {
+  std::uint64_t uid = 0;
+  std::shared_ptr<Ring> ring;
+};
+
+std::atomic<std::uint64_t> g_buffer_uid{0};
+thread_local std::vector<RingCacheEntry> t_ring_cache;
+
+}  // namespace
+
+struct TraceBuffer::Impl {
+  std::uint64_t uid = ++g_buffer_uid;
+  mutable std::mutex mu;
+  std::vector<std::shared_ptr<Ring>> rings;
+
+  Ring& local_ring() {
+    for (const RingCacheEntry& e : t_ring_cache) {
+      if (e.uid == uid) return *e.ring;
+    }
+    auto ring = std::make_shared<Ring>();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ring->tid = static_cast<std::uint32_t>(rings.size() + 1);
+      rings.push_back(ring);
+    }
+    t_ring_cache.push_back({uid, ring});
+    return *ring;
+  }
+};
+
+TraceBuffer::TraceBuffer() : impl_(std::make_unique<Impl>()) {}
+TraceBuffer::~TraceBuffer() = default;
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+void TraceBuffer::record(const char* name, std::uint64_t ts_us,
+                         std::uint64_t dur_us) {
+  Ring& ring = impl_->local_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring.events[head % kTraceRingCapacity];
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::size_t TraceBuffer::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::size_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : impl_->rings) {
+    total += static_cast<std::size_t>(std::min<std::uint64_t>(
+        ring->head.load(std::memory_order_acquire), kTraceRingCapacity));
+  }
+  return total;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const std::shared_ptr<Ring>& ring : impl_->rings) {
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const std::shared_ptr<Ring>& ring : impl_->rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kTraceRingCapacity);
+    // Oldest surviving event first (ring order once wrapped).
+    const std::uint64_t base = head - n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(base + i) % kTraceRingCapacity];
+      if (e.name == nullptr) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << e.name << "\",\"cat\":\"libra\",\"ph\":\"X\""
+         << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+         << ",\"pid\":1,\"tid\":" << ring->tid << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void TraceBuffer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open trace output file: " + path);
+  }
+  out << to_chrome_json();
+  if (!out) {
+    throw std::runtime_error("obs: failed writing trace output: " + path);
+  }
+}
+
+}  // namespace libra::obs

@@ -1,0 +1,106 @@
+// Scoped trace spans recorded into per-thread ring buffers and exported as
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing load).
+//
+//   void run_tick() {
+//     OBS_SPAN("fleet.tick");               // span = this scope's lifetime
+//     { OBS_SPAN("fleet.gather"); ... }     // nested spans nest in the UI
+//   }
+//
+// Each thread owns a fixed-capacity ring (oldest events overwritten), so
+// recording is wait-free and memory is bounded no matter how long a run
+// is. `TraceBuffer::global().write_chrome_json(path)` dumps complete
+// "ph":"X" duration events; export is meant to run when workers are
+// quiescent (end of a run / a bench), matching how the CLI and tests use
+// it.
+//
+// Span names must be string literals (or otherwise outlive the buffer):
+// the ring stores the pointer, never a copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace libra::obs {
+
+// Microseconds since the process's trace epoch (the first call), from
+// steady_clock. Also used by the thread-pool wait/run instrumentation.
+std::uint64_t trace_now_us();
+
+// Per-thread ring capacity, in events.
+inline constexpr std::size_t kTraceRingCapacity = 8192;
+
+class TraceBuffer {
+ public:
+  TraceBuffer();
+  ~TraceBuffer();
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  static TraceBuffer& global();
+
+  // Record one completed span on the calling thread's ring.
+  void record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string to_chrome_json() const;
+  // Write to a file; throws std::runtime_error when the file can't open.
+  void write_chrome_json(const std::string& path) const;
+
+  // Total events currently buffered across threads (capped by the rings).
+  std::size_t event_count() const;
+  // Drop all buffered events (tests/benches). Only safe when quiescent.
+  void clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// RAII span: times its own scope and records into the global TraceBuffer.
+// With telemetry compiled out or runtime-disabled the constructor is an
+// empty inline body. Optionally feeds the measured duration into a
+// Histogram so the scrape and the trace share one clock-read pair.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name, Histogram* hist = nullptr) {
+#if LIBRA_OBS_ENABLED
+    if (enabled()) {
+      name_ = name;
+      hist_ = hist;
+      start_ = trace_now_us();
+    }
+#else
+    (void)name;
+    (void)hist;
+#endif
+  }
+  ~SpanGuard() {
+#if LIBRA_OBS_ENABLED
+    if (name_ != nullptr) {
+      const std::uint64_t dur = trace_now_us() - start_;
+      TraceBuffer::global().record(name_, start_, dur);
+      if (hist_ != nullptr) hist_->observe(static_cast<double>(dur));
+    }
+#endif
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+#if LIBRA_OBS_ENABLED
+  const char* name_ = nullptr;
+  Histogram* hist_ = nullptr;
+  std::uint64_t start_ = 0;
+#endif
+};
+
+#define LIBRA_OBS_CONCAT_INNER(a, b) a##b
+#define LIBRA_OBS_CONCAT(a, b) LIBRA_OBS_CONCAT_INNER(a, b)
+// Trace the enclosing scope: OBS_SPAN("name") or OBS_SPAN("name", &hist).
+#define OBS_SPAN(...) \
+  ::libra::obs::SpanGuard LIBRA_OBS_CONCAT(obs_span_, __COUNTER__)(__VA_ARGS__)
+
+}  // namespace libra::obs

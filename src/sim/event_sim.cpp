@@ -15,6 +15,14 @@ class Engine {
  public:
   Engine(const trace::CaseRecord& rec, const EventParams& p, bool record)
       : rec_(rec), p_(p), record_(record) {
+    // A non-positive frame or flow duration would march time backwards (or
+    // not at all) and spin the frame loops forever.
+    if (!(p.fat_ms > 0.0) || !(p.flow_ms > 0.0) ||
+        !(p.ba_overhead_ms >= 0.0)) {
+      throw std::invalid_argument(
+          "EventParams: fat_ms and flow_ms must be > 0 and ba_overhead_ms "
+          ">= 0");
+    }
     result_.settled_mcs = rec.init_mcs;
   }
 

@@ -1,11 +1,36 @@
 #include "sim/fleet.h"
 
-#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "obs/span.h"
+
 namespace libra::sim {
+
+namespace {
+// Fleet serving telemetry: per-phase latency and throughput counters. The
+// tick histogram is fed from the same StopWatch measurement that fills
+// FleetResult::tick_latency_us (one source of truth).
+struct FleetMetrics {
+  obs::Counter& ticks;
+  obs::Counter& batched_rows;
+  obs::Histogram& tick_latency_us;
+  obs::Histogram& gather_us;
+  obs::Histogram& decide_us;
+  obs::Histogram& scatter_us;
+};
+FleetMetrics& fleet_metrics() {
+  obs::Registry& r = obs::Registry::global();
+  static FleetMetrics m{r.counter("fleet.ticks"),
+                        r.counter("fleet.batched_rows"),
+                        r.histogram("fleet.tick_latency_us"),
+                        r.histogram("fleet.gather_us"),
+                        r.histogram("fleet.decide_us"),
+                        r.histogram("fleet.scatter_us")};
+  return m;
+}
+}  // namespace
 
 FleetResult run_fleet(std::span<const FleetLink> links,
                       const FleetConfig& cfg) {
@@ -15,6 +40,7 @@ FleetResult run_fleet(std::span<const FleetLink> links,
                                   std::to_string(i));
     }
   }
+  FleetMetrics& metrics = fleet_metrics();
 
   // Fork every link's stream up front, in link order: the fleet schedule
   // can never perturb what an individual link draws.
@@ -45,64 +71,75 @@ FleetResult run_fleet(std::span<const FleetLink> links,
 
   bool any_active = true;
   while (any_active) {
-    const auto tick_start = std::chrono::steady_clock::now();
+    const obs::StopWatch tick_watch;
+    OBS_SPAN("fleet.tick");
     any_active = false;
 
     // Gather: every active link transmits one frame.
-    group_keys.clear();
-    group_rows.clear();
-    for (std::size_t i = 0; i < drivers.size(); ++i) {
-      if (drivers[i].done()) {
-        requests[i].reset();
-        continue;
-      }
-      requests[i] = drivers[i].observe(rngs[i]);
-      const core::DecisionRequest& req = *requests[i];
-      if (req.needs_inference()) {
-        std::size_t g = 0;
-        while (g < group_keys.size() && group_keys[g] != req.classifier) ++g;
-        if (g == group_keys.size()) {
-          group_keys.push_back(req.classifier);
-          group_rows.emplace_back();
+    {
+      OBS_SPAN("fleet.gather", &metrics.gather_us);
+      group_keys.clear();
+      group_rows.clear();
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        if (drivers[i].done()) {
+          requests[i].reset();
+          continue;
         }
-        group_rows[g].push_back(i);
-      } else {
-        verdicts[i] = req.resolved_without_inference();
+        requests[i] = drivers[i].observe(rngs[i]);
+        const core::DecisionRequest& req = *requests[i];
+        if (req.needs_inference()) {
+          std::size_t g = 0;
+          while (g < group_keys.size() && group_keys[g] != req.classifier) ++g;
+          if (g == group_keys.size()) {
+            group_keys.push_back(req.classifier);
+            group_rows.emplace_back();
+          }
+          group_rows[g].push_back(i);
+        } else {
+          verdicts[i] = req.resolved_without_inference();
+        }
       }
     }
 
     // Decide: one batched inference per classifier; row order is link
     // order, each row jittered from its own link's stream.
-    for (std::size_t g = 0; g < group_keys.size(); ++g) {
-      const std::vector<std::size_t>& members = group_rows[g];
-      std::vector<trace::FeatureVector> rows;
-      std::vector<util::Rng*> row_rngs;
-      rows.reserve(members.size());
-      row_rngs.reserve(members.size());
-      for (const std::size_t i : members) {
-        rows.push_back(requests[i]->features);
-        row_rngs.push_back(&rngs[i]);
+    {
+      OBS_SPAN("fleet.decide", &metrics.decide_us);
+      for (std::size_t g = 0; g < group_keys.size(); ++g) {
+        const std::vector<std::size_t>& members = group_rows[g];
+        std::vector<trace::FeatureVector> rows;
+        std::vector<util::Rng*> row_rngs;
+        rows.reserve(members.size());
+        row_rngs.reserve(members.size());
+        for (const std::size_t i : members) {
+          rows.push_back(requests[i]->features);
+          row_rngs.push_back(&rngs[i]);
+        }
+        const std::vector<trace::Action> batch =
+            group_keys[g]->classify_batch(rows, row_rngs);
+        for (std::size_t m = 0; m < members.size(); ++m) {
+          verdicts[members[m]] = batch[m];
+        }
+        result.batched_rows += static_cast<int>(members.size());
+        metrics.batched_rows.inc(members.size());
       }
-      const std::vector<trace::Action> batch =
-          group_keys[g]->classify_batch(rows, row_rngs);
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        verdicts[members[m]] = batch[m];
-      }
-      result.batched_rows += static_cast<int>(members.size());
     }
 
     // Scatter: act on the verdicts and account the frames.
-    for (std::size_t i = 0; i < drivers.size(); ++i) {
-      if (!requests[i].has_value()) continue;
-      drivers[i].apply(verdicts[i], *requests[i], rngs[i]);
-      any_active = true;
+    {
+      OBS_SPAN("fleet.scatter", &metrics.scatter_us);
+      for (std::size_t i = 0; i < drivers.size(); ++i) {
+        if (!requests[i].has_value()) continue;
+        drivers[i].apply(verdicts[i], *requests[i], rngs[i]);
+        any_active = true;
+      }
     }
     if (any_active) {
       ++result.ticks;
-      const auto tick_end = std::chrono::steady_clock::now();
-      result.tick_latency_us.add(
-          std::chrono::duration<double, std::micro>(tick_end - tick_start)
-              .count());
+      metrics.ticks.inc();
+      const double tick_us = tick_watch.elapsed_us();
+      result.tick_latency_us.add(tick_us);
+      metrics.tick_latency_us.observe(tick_us);
     }
   }
 
@@ -110,6 +147,7 @@ FleetResult run_fleet(std::span<const FleetLink> links,
   for (SessionDriver& driver : drivers) {
     result.links.push_back(driver.finish());
   }
+  result.metrics = obs::Registry::global().snapshot();
   return result;
 }
 

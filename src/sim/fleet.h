@@ -23,6 +23,7 @@
 
 #include <span>
 
+#include "obs/metrics.h"
 #include "sim/session.h"
 #include "util/stats.h"
 
@@ -48,8 +49,14 @@ struct FleetResult {
   std::vector<SessionResult> links;  // per-link, in FleetLink order
   int ticks = 0;          // lockstep rounds until every link finished
   int batched_rows = 0;   // feature rows served through classify_batch
-  // Wall-clock per lockstep tick (gather + batched decide + scatter).
+  // Wall-clock per lockstep tick (gather + batched decide + scatter). The
+  // same per-tick measurement also feeds the "fleet.tick_latency_us"
+  // histogram, so this and the scrape report from one clock-read pair.
   util::RunningStats tick_latency_us;
+  // Scrape of the global obs registry taken as the run finishes (counts
+  // are process-cumulative, like any scrape endpoint). All-zero when
+  // telemetry is compiled out or disabled.
+  obs::MetricsSnapshot metrics;
 };
 
 // Step every link in lockstep until all scripts complete. Links whose

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "obs/span.h"
 #include "phy/pdp.h"
 
 namespace libra::trace {
@@ -124,6 +125,10 @@ double TraceCollector::calibrate_interferer_eirp(
 
 CaseRecord TraceCollector::collect(env::Environment& environment, const Case& c,
                                    util::Rng& rng) const {
+  OBS_SPAN("collect.case");
+  static obs::Counter& cases_counter =
+      obs::Registry::global().counter("collect.cases");
+  cases_counter.inc();
   CaseRecord rec;
   rec.impairment = c.impairment;
   rec.env_name = c.env_name;

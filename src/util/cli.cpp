@@ -1,0 +1,51 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace libra::util {
+
+bool looks_numeric(std::string_view token) {
+  if (token.empty()) return false;
+  const std::string copy(token);
+  char* end = nullptr;
+  std::strtod(copy.c_str(), &end);
+  return end != copy.c_str() && *end == '\0';
+}
+
+CliArgs CliArgs::parse(int argc, const char* const* argv, int first) {
+  CliArgs args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc &&
+          (argv[i + 1][0] != '-' || looks_numeric(argv[i + 1]))) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+double CliArgs::number(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  if (!looks_numeric(it->second)) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+  return std::stod(it->second);
+}
+
+std::string CliArgs::str(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+}  // namespace libra::util

@@ -1,0 +1,38 @@
+// Minimal command-line parsing shared by tools/libra_cli.cpp and the
+// examples: `--key value` options, `--flag` switches, positionals.
+//
+// A token after `--key` is consumed as the value when it does not start
+// with '-' OR when it parses as a number -- so `--fat -1` and
+// `--offset -2.5e3` bind the negative value instead of spawning a bogus
+// flag plus a stray positional (the historical bug this fixes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace libra::util {
+
+// True when the whole token parses as a (possibly signed) number.
+bool looks_numeric(std::string_view token);
+
+struct CliArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key [value]
+
+  // Parse argv[first..argc). The CLI passes first = 2 (argv[1] is the
+  // subcommand); standalone tools pass the default 1.
+  static CliArgs parse(int argc, const char* const* argv, int first = 1);
+
+  // Option value as a number, or `fallback` when absent. Throws
+  // std::invalid_argument when present but not numeric (a flag given a
+  // garbage value should fail loudly, not silently become the fallback).
+  double number(const std::string& key, double fallback) const;
+  // Option value as a string, or `fallback` when absent.
+  std::string str(const std::string& key,
+                  const std::string& fallback = "") const;
+  bool flag(const std::string& key) const { return options.count(key) > 0; }
+};
+
+}  // namespace libra::util

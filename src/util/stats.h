@@ -13,6 +13,10 @@ namespace libra::util {
 class RunningStats {
  public:
   void add(double x);
+  // Fold another accumulator in exactly (Chan's parallel variance update),
+  // so per-thread shards / per-link stats aggregate to the same moments a
+  // serial pass over the union would produce.
+  void merge(const RunningStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;  // unbiased sample variance (n-1); 0 for n < 2

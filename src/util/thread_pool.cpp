@@ -3,10 +3,30 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/span.h"
+
 namespace libra::util {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Telemetry handles, registered once. Observation-only: queue depth, how
+// long tasks sat queued, and how long they ran.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("threadpool.queue_depth");
+  return g;
+}
+obs::Histogram& task_wait_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("threadpool.task_wait_us");
+  return h;
+}
+obs::Histogram& task_run_hist() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("threadpool.task_run_us");
+  return h;
+}
 }  // namespace
 
 bool ThreadPool::in_worker() { return t_in_worker; }
@@ -36,35 +56,58 @@ ThreadPool::~ThreadPool() {
   // Workers exit only once the queue is empty, but if the pool never had
   // workers (threads_ == 1) pending submits still have to run somewhere.
   while (!queue_.empty()) {
-    auto task = std::move(queue_.front());
+    Item item = std::move(queue_.front());
     queue_.pop_front();
-    task();
+    queue_depth_gauge().add(-1.0);
+    run_item(std::move(item));
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> wrapped(std::move(task));
-  std::future<void> result = wrapped.get_future();
+  Item item{std::packaged_task<void()>(std::move(task)), 0};
+  if (obs::enabled()) item.enqueue_us = obs::trace_now_us();
+  std::future<void> result = item.task.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(wrapped));
+    queue_.push_back(std::move(item));
   }
+  queue_depth_gauge().add(1.0);
   cv_.notify_one();
   return result;
+}
+
+ThreadPool::Item ThreadPool::pop_locked() {
+  Item item = std::move(queue_.front());
+  queue_.pop_front();
+  return item;
+}
+
+// Record wait/run telemetry around one dequeued task. Runs on whichever
+// thread drains the item (worker or destructor).
+void ThreadPool::run_item(Item item) {
+  if (item.enqueue_us != 0 && obs::enabled()) {
+    const std::uint64_t now = obs::trace_now_us();
+    task_wait_hist().observe(static_cast<double>(now - item.enqueue_us));
+    item.task();
+    task_run_hist().observe(
+        static_cast<double>(obs::trace_now_us() - now));
+    return;
+  }
+  item.task();  // packaged_task captures exceptions for the future
 }
 
 void ThreadPool::worker_loop() {
   t_in_worker = true;
   for (;;) {
-    std::packaged_task<void()> task;
+    Item item;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      item = pop_locked();
     }
-    task();  // packaged_task captures exceptions for the future
+    queue_depth_gauge().add(-1.0);
+    run_item(std::move(item));
   }
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -53,11 +54,20 @@ class ThreadPool {
   static int resolve(int requested);
 
  private:
+  // A queued task plus its enqueue timestamp (obs::trace_now_us; 0 when
+  // telemetry is disabled) so the dequeue can record queue-wait latency.
+  struct Item {
+    std::packaged_task<void()> task;
+    std::uint64_t enqueue_us = 0;
+  };
+
   void worker_loop();
+  Item pop_locked();
+  void run_item(Item item);
 
   int threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Item> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

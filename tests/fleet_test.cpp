@@ -3,11 +3,15 @@
 // bit for bit, for any forest thread count.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/controller.h"
 #include "env/registry.h"
+#include "json_mini.h"
+#include "obs/span.h"
 #include "sim/fleet.h"
 #include "test_helpers.h"
 
@@ -169,6 +173,124 @@ TEST(Fleet, BitIdenticalToIndependentSessions) {
     }
   }
 }
+
+// Per-link results from one fleet run, flattened for comparison.
+std::vector<sim::SessionResult> run_build_stations_fleet(
+    const array::Codebook* codebook, std::uint64_t seed) {
+  auto stations = build_stations(codebook);
+  std::vector<sim::FleetLink> members;
+  for (auto& s : stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  sim::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.keep_frame_logs = true;
+  return sim::run_fleet(members, cfg).links;
+}
+
+// Telemetry is observation-only: disabling it at runtime must leave every
+// frame of every link bit-identical -- no counter, span, or clock read may
+// feed back into RNG draws or decisions.
+TEST(Fleet, TelemetryOnOffBitIdentical) {
+  const array::Codebook codebook;
+  const std::vector<sim::SessionResult> with_obs =
+      run_build_stations_fleet(&codebook, 77);
+  obs::set_enabled(false);
+  const std::vector<sim::SessionResult> without_obs =
+      run_build_stations_fleet(&codebook, 77);
+  obs::set_enabled(true);
+
+  ASSERT_EQ(with_obs.size(), without_obs.size());
+  for (std::size_t i = 0; i < with_obs.size(); ++i) {
+    const sim::SessionResult& a = with_obs[i];
+    const sim::SessionResult& b = without_obs[i];
+    EXPECT_EQ(a.frames, b.frames) << "link " << i;
+    EXPECT_EQ(a.bytes_mb, b.bytes_mb) << "link " << i;
+    EXPECT_EQ(a.avg_goodput_mbps, b.avg_goodput_mbps) << "link " << i;
+    EXPECT_EQ(a.adaptations_ba, b.adaptations_ba) << "link " << i;
+    EXPECT_EQ(a.adaptations_ra, b.adaptations_ra) << "link " << i;
+    EXPECT_EQ(a.outages, b.outages) << "link " << i;
+    EXPECT_EQ(a.total_outage_ms, b.total_outage_ms) << "link " << i;
+    ASSERT_EQ(a.frame_log.size(), b.frame_log.size()) << "link " << i;
+    for (std::size_t f = 0; f < a.frame_log.size(); ++f) {
+      ASSERT_EQ(a.frame_log[f].t_ms, b.frame_log[f].t_ms)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].mcs, b.frame_log[f].mcs)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].goodput_mbps, b.frame_log[f].goodput_mbps)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].ack, b.frame_log[f].ack)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].action, b.frame_log[f].action)
+          << "link " << i << " frame " << f;
+    }
+  }
+}
+
+#if LIBRA_OBS_ENABLED
+
+// A fleet run's exported trace must be valid Chrome trace-event JSON and
+// cover the tick phases plus the batched inference span (the acceptance
+// check behind `libra simulate --trace-out`).
+TEST(Fleet, TraceContainsFleetSpans) {
+  obs::TraceBuffer& buf = obs::TraceBuffer::global();
+  buf.clear();
+  const array::Codebook codebook;
+  (void)run_build_stations_fleet(&codebook, 77);
+
+  const std::string path = ::testing::TempDir() + "fleet_trace.json";
+  buf.write_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const libra::testing::JsonValue root = libra::testing::parse_json(ss.str());
+  const libra::testing::JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool gather = false, decide = false, scatter = false, classify = false;
+  for (const libra::testing::JsonValue& e : events->array) {
+    const libra::testing::JsonValue* name = e.find("name");
+    const libra::testing::JsonValue* ph = e.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->str, "X");
+    gather |= name->str == "fleet.gather";
+    decide |= name->str == "fleet.decide";
+    scatter |= name->str == "fleet.scatter";
+    classify |= name->str == "classifier.classify_batch";
+  }
+  EXPECT_TRUE(gather);
+  EXPECT_TRUE(decide);
+  EXPECT_TRUE(scatter);
+  EXPECT_TRUE(classify);
+  buf.clear();
+}
+
+// The scrape rides back on FleetResult: phase histograms and tick counters
+// must reflect the run that produced them.
+TEST(Fleet, ResultCarriesMetricsSnapshot) {
+  const array::Codebook codebook;
+  auto stations = build_stations(&codebook);
+  std::vector<sim::FleetLink> members;
+  for (auto& s : stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  const sim::FleetResult result = sim::run_fleet(members, {});
+
+  const auto* ticks = result.metrics.find_counter("fleet.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_GE(ticks->value, static_cast<std::uint64_t>(result.ticks));
+  const auto* hist = result.metrics.find_histogram("fleet.tick_latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->data.count, static_cast<std::uint64_t>(result.ticks));
+  const auto* rows = result.metrics.find_counter("fleet.batched_rows");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_GE(rows->value, static_cast<std::uint64_t>(result.batched_rows));
+}
+
+#endif  // LIBRA_OBS_ENABLED
 
 TEST(Fleet, EmptyFleetFinishesImmediately) {
   const sim::FleetResult result = sim::run_fleet({}, {});

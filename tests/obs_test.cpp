@@ -1,0 +1,237 @@
+// Telemetry subsystem (obs/): registry semantics under concurrency, log2
+// bucket boundaries, exporter well-formedness, and trace-span export.
+//
+// The global registry is process-cumulative (like any scrape endpoint), so
+// every test uses uniquely named metrics and asserts on deltas, never on
+// absolute process-wide state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_mini.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace libra {
+namespace {
+
+using libra::testing::JsonValue;
+using libra::testing::parse_json;
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snap,
+                            std::string_view name) {
+  const auto* c = snap.find_counter(name);
+  return c ? c->value : 0;
+}
+
+TEST(ObsRegistry, HandlesAreFindOrRegister) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& a = reg.counter("obs_test.same_name");
+  obs::Counter& b = reg.counter("obs_test.same_name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "obs_test.same_name");
+}
+
+#if LIBRA_OBS_ENABLED
+
+TEST(ObsRegistry, ConcurrentCounterSumsExactly) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& counter = reg.counter("obs_test.concurrent");
+  const std::uint64_t before =
+      counter_value(reg.snapshot(), "obs_test.concurrent");
+
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncsPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kIncsPerThread; ++i) counter.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every bump lands in its own thread's shard; the merge must lose none.
+  const std::uint64_t after =
+      counter_value(reg.snapshot(), "obs_test.concurrent");
+  EXPECT_EQ(after - before, kThreads * kIncsPerThread);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  obs::Gauge& g = obs::Registry::global().gauge("obs_test.gauge");
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 2.25);
+  const auto* gv =
+      obs::Registry::global().snapshot().find_gauge("obs_test.gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_DOUBLE_EQ(gv->value, 2.25);
+}
+
+TEST(ObsRegistry, HistogramObservationsMergeIntoSnapshot) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& h = reg.histogram("obs_test.hist");
+  h.observe(3.0);
+  h.observe(5.0);
+  h.observe(100.0);
+  const auto* hv = reg.snapshot().find_histogram("obs_test.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->data.count, 3u);
+  EXPECT_DOUBLE_EQ(hv->data.sum, 108.0);
+  EXPECT_DOUBLE_EQ(hv->data.min, 3.0);
+  EXPECT_DOUBLE_EQ(hv->data.max, 100.0);
+  EXPECT_EQ(hv->data.buckets[obs::histogram_bucket(3.0)], 1u);   // [2, 4)
+  EXPECT_EQ(hv->data.buckets[obs::histogram_bucket(5.0)], 1u);   // [4, 8)
+  EXPECT_EQ(hv->data.buckets[obs::histogram_bucket(100.0)], 1u);  // [64, 128)
+}
+
+TEST(ObsRegistry, RuntimeDisableIsANullSink) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& c = reg.counter("obs_test.disabled");
+  obs::Histogram& h = reg.histogram("obs_test.disabled_hist");
+  const obs::MetricsSnapshot before = reg.snapshot();
+  const std::size_t events_before = obs::TraceBuffer::global().event_count();
+
+  obs::set_enabled(false);
+  c.inc(10);
+  h.observe(42.0);
+  { OBS_SPAN("obs_test.disabled_span"); }
+  obs::set_enabled(true);
+
+  const obs::MetricsSnapshot after = reg.snapshot();
+  EXPECT_EQ(counter_value(after, "obs_test.disabled"),
+            counter_value(before, "obs_test.disabled"));
+  const auto* hv = after.find_histogram("obs_test.disabled_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->data.count, 0u);
+  EXPECT_EQ(obs::TraceBuffer::global().event_count(), events_before);
+}
+
+TEST(ObsTrace, SpanExportIsValidChromeTraceJson) {
+  obs::TraceBuffer& buf = obs::TraceBuffer::global();
+  buf.clear();
+  {
+    OBS_SPAN("obs_test.outer");
+    { OBS_SPAN("obs_test.inner"); }
+  }
+  ASSERT_GE(buf.event_count(), 2u);
+
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  buf.write_chrome_json(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  const JsonValue root = parse_json(ss.str());
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->array.size(), 2u);
+
+  bool saw_outer = false, saw_inner = false;
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* dur = e.find("dur");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_EQ(ph->str, "X");  // complete duration events only
+    EXPECT_TRUE(ts->is_number());
+    EXPECT_TRUE(dur->is_number());
+    EXPECT_GE(dur->number, 0.0);
+    saw_outer |= name->str == "obs_test.outer";
+    saw_inner |= name->str == "obs_test.inner";
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  buf.clear();
+}
+
+TEST(ObsExport, JsonSnapshotParses) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("obs_test.json_counter").inc(7);
+  reg.histogram("obs_test.json_hist").observe(12.0);
+  const JsonValue root = parse_json(reg.snapshot().to_json());
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* c = counters->find("obs_test.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GE(c->number, 7.0);
+  const JsonValue* hists = root.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  EXPECT_NE(hists->find("obs_test.json_hist"), nullptr);
+}
+
+TEST(ObsExport, PrometheusContainsCumulativeBuckets) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.histogram("obs_test.prom_hist").observe(3.0);
+  const std::string prom = reg.snapshot().to_prometheus();
+  EXPECT_NE(prom.find("libra_obs_test_prom_hist_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("libra_obs_test_prom_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("libra_obs_test_prom_hist_sum"), std::string::npos);
+  EXPECT_NE(prom.find("libra_obs_test_prom_hist_count"), std::string::npos);
+}
+
+#endif  // LIBRA_OBS_ENABLED
+
+TEST(ObsHistogram, Log2BucketBoundaries) {
+  // Bucket 0 holds v < 1 (and NaN); bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(obs::histogram_bucket(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(0.5), 0u);
+  EXPECT_EQ(obs::histogram_bucket(-3.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(std::nan("")), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1.0), 1u);
+  EXPECT_EQ(obs::histogram_bucket(1.5), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4.0), 3u);
+  EXPECT_EQ(obs::histogram_bucket(1023.0), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024.0), 11u);
+  // Everything past the last boundary lands in the final bucket.
+  EXPECT_EQ(obs::histogram_bucket(1e300), obs::kHistogramBuckets - 1);
+
+  // Bounds round-trip: lower(b) maps into b, upper(b) into b+1.
+  for (std::size_t b = 1; b + 1 < obs::kHistogramBuckets; ++b) {
+    EXPECT_EQ(obs::histogram_bucket(obs::histogram_bucket_lower(b)), b);
+    EXPECT_EQ(obs::histogram_bucket(obs::histogram_bucket_upper(b)), b + 1);
+  }
+  EXPECT_TRUE(
+      std::isinf(obs::histogram_bucket_upper(obs::kHistogramBuckets - 1)));
+}
+
+TEST(ObsHistogram, QuantileInterpolatesWithinBucket) {
+  obs::HistogramData d;
+  // 10 samples of 3.0: everything lives in bucket [2, 4).
+  d.count = 10;
+  d.sum = 30.0;
+  d.min = 3.0;
+  d.max = 3.0;
+  d.buckets[obs::histogram_bucket(3.0)] = 10;
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  // The estimate interpolates inside [2, 4) but clamps to [min, max].
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 3.0);
+
+  obs::HistogramData empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace libra

@@ -41,6 +41,24 @@ TEST(EventSim, NaCaseDeliversSteadyBytes) {
   EXPECT_TRUE(r.link_restored);
 }
 
+TEST(EventSim, NonPositiveDurationsThrow) {
+  // A negative FAT (now reachable from the CLI: `--fat -1` parses) would
+  // step simulated time backwards and never terminate; fail loudly.
+  const trace::CaseRecord rec = make_record(5, 5, 5);
+  const EventSimulator simulator;
+  util::Rng rng(1);
+  EXPECT_THROW(
+      simulator.run(rec, core::Strategy::kRaFirst, params(-1.0), rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      simulator.run(rec, core::Strategy::kRaFirst, params(10.0, 5.0, 0.0),
+                    rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      simulator.run(rec, core::Strategy::kRaFirst, params(10.0, -5.0), rng),
+      std::invalid_argument);
+}
+
 TEST(EventSim, RaFirstWalksDownWhenBroken) {
   // Initial MCS 6 broken, MCS 3 works on the initial pair.
   const trace::CaseRecord rec = make_record(6, 3, 6);

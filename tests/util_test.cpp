@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/cli.h"
 #include "util/fft.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -201,6 +202,102 @@ TEST(RunningStats, SingleValue) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
   EXPECT_DOUBLE_EQ(s.min(), 7.0);
   EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+// merge() must agree with having added every sample serially, no matter
+// how the samples were split across the merged partials (Chan's parallel
+// variance update is order-invariant up to rounding).
+TEST(RunningStats, MergeMatchesSerialAdd) {
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.gaussian(5.0, 3.0));
+
+  RunningStats serial;
+  for (double x : samples) serial.add(x);
+
+  // Three unequal chunks, merged in two different orders.
+  const std::size_t cuts[] = {0, 137, 612, samples.size()};
+  RunningStats chunks[3];
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = cuts[c]; i < cuts[c + 1]; ++i) {
+      chunks[c].add(samples[i]);
+    }
+  }
+  RunningStats fwd = chunks[0];
+  fwd.merge(chunks[1]);
+  fwd.merge(chunks[2]);
+  RunningStats rev = chunks[2];
+  rev.merge(chunks[0]);
+  rev.merge(chunks[1]);
+
+  for (const RunningStats& merged : {fwd, rev}) {
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+    EXPECT_NEAR(merged.mean(), serial.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), serial.variance(), 1e-9);
+  }
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  RunningStats empty;
+  s.merge(empty);  // no-op
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+
+  RunningStats other;
+  other.merge(s);  // adopt
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(other.min(), 1.0);
+  EXPECT_DOUBLE_EQ(other.max(), 3.0);
+}
+
+// ---------- CliArgs ----------
+
+TEST(CliArgs, NegativeOptionValuesBind) {
+  // The historical bug: `--fat -1` treated "-1" as a new flag, leaving
+  // --fat empty and "-1" dangling. Numeric-looking tokens must bind.
+  const char* argv[] = {"libra", "simulate", "train.ds", "eval.ds",
+                        "--fat", "-1", "--offset", "-2.5e3"};
+  const CliArgs args = CliArgs::parse(8, argv, /*first=*/2);
+  ASSERT_EQ(args.positional.size(), 2u);
+  EXPECT_EQ(args.positional[0], "train.ds");
+  EXPECT_EQ(args.positional[1], "eval.ds");
+  EXPECT_EQ(args.str("fat"), "-1");
+  EXPECT_DOUBLE_EQ(args.number("fat", 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(args.number("offset", 0.0), -2500.0);
+}
+
+TEST(CliArgs, AdjacentFlagsStayFlags) {
+  const char* argv[] = {"prog", "--verbose", "--seed", "7", "--dry-run"};
+  const CliArgs args = CliArgs::parse(5, argv);
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_TRUE(args.flag("dry-run"));
+  EXPECT_EQ(args.str("verbose"), "");  // not given a value
+  EXPECT_DOUBLE_EQ(args.number("seed", 0.0), 7.0);
+  EXPECT_TRUE(args.positional.empty());
+}
+
+TEST(CliArgs, NumberFallsBackWhenAbsentAndThrowsWhenGarbage) {
+  const char* argv[] = {"prog", "--name", "trace.json"};
+  const CliArgs args = CliArgs::parse(3, argv);
+  EXPECT_DOUBLE_EQ(args.number("missing", 4.5), 4.5);
+  EXPECT_EQ(args.str("name"), "trace.json");
+  EXPECT_THROW(args.number("name", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, LooksNumeric) {
+  EXPECT_TRUE(looks_numeric("-1"));
+  EXPECT_TRUE(looks_numeric("3.25"));
+  EXPECT_TRUE(looks_numeric("-1.5e3"));
+  EXPECT_FALSE(looks_numeric(""));
+  EXPECT_FALSE(looks_numeric("-"));
+  EXPECT_FALSE(looks_numeric("--flag"));
+  EXPECT_FALSE(looks_numeric("1x"));
 }
 
 // ---------- EmpiricalCdf ----------

@@ -13,53 +13,55 @@
 //       Dump the labeled feature matrix as CSV to stdout.
 //   libra simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] [--flow MS]
 //       Trace-driven comparison of all five strategies (Sec. 8 style).
+//
+// `collect` and `simulate` additionally take telemetry flags:
+//   --metrics          print a Prometheus-format scrape of the run's
+//                      counters/histograms to stdout at the end
+//   --trace-out FILE   write buffered trace spans as Chrome trace-event
+//                      JSON (open in Perfetto or chrome://tracing)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "core/classifier.h"
+#include "core/controller.h"
+#include "env/registry.h"
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "phy/error_model.h"
 #include "sim/event_sim.h"
+#include "sim/fleet.h"
 #include "trace/io.h"
+#include "util/cli.h"
 #include "util/table.h"
 
 using namespace libra;
 
 namespace {
 
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;  // --key [value]
+// --key value / --flag / positional parsing, shared with the examples.
+// argv[1] is the subcommand, so parsing starts at index 2.
+using Args = util::CliArgs;
 
-  static Args parse(int argc, char** argv) {
-    Args args;
-    for (int i = 2; i < argc; ++i) {
-      const std::string a = argv[i];
-      if (a.rfind("--", 0) == 0) {
-        const std::string key = a.substr(2);
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
-          args.options[key] = argv[++i];
-        } else {
-          args.options[key] = "";
-        }
-      } else {
-        args.positional.push_back(a);
-      }
-    }
-    return args;
+// Honour --metrics / --trace-out at the end of a command.
+void dump_telemetry(const Args& args) {
+  if (args.flag("metrics")) {
+    std::fputs(obs::Registry::global().snapshot().to_prometheus().c_str(),
+               stdout);
   }
-
-  double number(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+  const std::string trace_path = args.str("trace-out");
+  if (!trace_path.empty()) {
+    obs::TraceBuffer::global().write_chrome_json(trace_path);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 obs::TraceBuffer::global().event_count(),
+                 trace_path.c_str());
   }
-  bool flag(const std::string& key) const { return options.count(key) > 0; }
-};
+}
 
 trace::GroundTruthConfig ground_truth_from(const Args& args) {
   trace::GroundTruthConfig gt;
@@ -100,6 +102,7 @@ int cmd_collect(const Args& args) {
   trace::save_dataset_file(ds, args.positional[0]);
   std::printf("saved %zu records (+%zu NA) to %s\n", ds.records.size(),
               ds.na_records.size(), args.positional[0].c_str());
+  dump_telemetry(args);
   return 0;
 }
 
@@ -185,6 +188,52 @@ int cmd_export_csv(const Args& args) {
   return 0;
 }
 
+// Telemetry demo stage for `simulate --metrics/--trace-out`: the event
+// simulator never touches the fleet serving path, so run the trained
+// classifier through a small lockstep fleet too -- the scrape and trace
+// then cover gather/decide/scatter and batched inference as deployed.
+void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed) {
+  constexpr int kStations = 4;
+  phy::McsTable table;
+  phy::ErrorModel em(&table);
+  const array::Codebook codebook;
+  std::vector<env::Environment> envs;
+  std::vector<array::PhasedArray> aps, clients;
+  std::vector<channel::Link> links;
+  std::vector<core::LibraController> controllers;
+  envs.reserve(kStations);
+  aps.reserve(kStations);
+  clients.reserve(kStations);
+  links.reserve(kStations);
+  controllers.reserve(kStations);
+  for (int s = 0; s < kStations; ++s) {
+    envs.push_back(env::make_lobby());
+    aps.emplace_back(geom::Vec2{2.0, 6.0}, 0.0, &codebook);
+    clients.emplace_back(geom::Vec2{8.0 + s, 4.0 + (s % 3)}, 180.0,
+                         &codebook);
+    links.emplace_back(&envs[s], &aps[s], &clients[s]);
+    controllers.emplace_back(&links[s], &em, &classifier);
+  }
+  std::vector<sim::FleetLink> fleet(kStations);
+  for (int s = 0; s < kStations; ++s) {
+    fleet[s] = {&envs[s], &links[s], &controllers[s], {}};
+    fleet[s].script.duration_ms = 2000.0;
+    fleet[s].script.rx_trajectory = sim::Trajectory::stationary(
+        clients[s].position(), clients[s].boresight_deg());
+  }
+  // One walker and one blocked station so the fleet actually batches
+  // inference rows (stationary links rarely trip the classifier).
+  fleet[1].script.rx_trajectory =
+      sim::Trajectory::walk({9, 4}, {16, 7}, 2000.0, geom::Vec2{2, 6});
+  fleet[3].script.blockage.push_back({500, 1500, {{6, 6}, 0.3, 35.0}});
+
+  sim::FleetConfig cfg;
+  cfg.seed = seed;
+  const sim::FleetResult result = sim::run_fleet(fleet, cfg);
+  std::printf("fleet stage: %d stations, %d ticks, %d batched rows\n",
+              kStations, result.ticks, result.batched_rows);
+}
+
 int cmd_simulate(const Args& args) {
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra simulate <train.ds> <eval.ds>\n");
@@ -222,6 +271,11 @@ int cmd_simulate(const Args& args) {
                std::to_string(restored) + "/" + std::to_string(broken)});
   }
   std::fputs(t.to_string().c_str(), stdout);
+  if (args.flag("metrics") || !args.str("trace-out").empty()) {
+    run_fleet_stage(classifier,
+                    static_cast<std::uint64_t>(args.number("seed", 1)));
+  }
+  dump_telemetry(args);
   return 0;
 }
 
@@ -229,12 +283,14 @@ void usage() {
   std::fprintf(stderr,
                "libra <command> ...\n"
                "  collect <out.ds> [--testing] [--seed N] [--frames N]\n"
+               "            [--metrics] [--trace-out FILE]\n"
                "  summarize <ds> [--alpha A]\n"
                "  train <ds> <out.forest> [--three-class] [--trees N]\n"
                "  eval <forest> <ds> [--three-class]\n"
                "  export-csv <ds>\n"
                "  simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] "
-               "[--flow MS]\n");
+               "[--flow MS]\n"
+               "            [--metrics] [--trace-out FILE]\n");
 }
 
 }  // namespace
@@ -245,7 +301,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
-  const Args args = Args::parse(argc, argv);
+  const Args args = Args::parse(argc, argv, /*first=*/2);
   try {
     if (cmd == "collect") return cmd_collect(args);
     if (cmd == "summarize") return cmd_summarize(args);
