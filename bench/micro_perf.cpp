@@ -9,6 +9,7 @@
 #include "core/classifier.h"
 #include "env/registry.h"
 #include "mac/beam_training.h"
+#include "ml/compiled_forest.h"
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "ml/neural_net.h"
@@ -153,6 +154,83 @@ BENCHMARK(BM_RepeatedCrossValidation)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// `rows` feature rows cycled out of the training set: a serving-shaped
+// batch without collecting a bigger campaign.
+ml::DataSet replicate_rows(const ml::DataSet& src, std::size_t rows) {
+  ml::DataSet out(src.num_features());
+  out.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    out.add(src.row(i % src.size()), src.label(i % src.size()));
+  }
+  return out;
+}
+
+// The interpreted pointer-walk batch path (per-tree std::vector<Node>
+// heaps), single-threaded: the reference the compiled arena is gated
+// against. Args = {rows, trees}.
+void BM_ForestBatchInterpreted(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = static_cast<int>(state.range(1));
+  cfg.num_threads = 1;
+  ml::RandomForest rf(cfg);
+  util::Rng rng(4);
+  rf.fit(f.train_ds, rng);  // no compile(): stays on the pointer walk
+  const ml::DataSet data =
+      replicate_rows(f.train_ds, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf.vote_fractions_batch(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ForestBatchInterpreted)
+    ->Args({256, 20})
+    ->Args({256, 60})
+    ->Args({1024, 60})
+    ->Args({4096, 60})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// The compiled flat-arena engine on the same rows x trees grid (also
+// single-threaded -- the CI gate tracks engine speed, not pool scaling).
+// `bit_identical` replays the batch against the interpreted walk; in
+// double-threshold mode every vote fraction must match exactly.
+void BM_CompiledForestBatch(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = static_cast<int>(state.range(1));
+  cfg.num_threads = 1;
+  ml::RandomForest rf(cfg);
+  util::Rng rng(4);
+  rf.fit(f.train_ds, rng);
+  const ml::CompiledForest compiled(rf);
+  const ml::DataSet data =
+      replicate_rows(f.train_ds, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.vote_fractions_batch(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+  state.counters["arena_kb"] =
+      static_cast<double>(compiled.arena_bytes()) / 1024.0;
+  state.counters["bit_identical"] =
+      compiled.vote_fractions_batch(data) == rf.vote_fractions_batch(data);
+}
+BENCHMARK(BM_CompiledForestBatch)
+    ->Args({256, 20})
+    ->Args({256, 60})
+    ->Args({1024, 60})
+    ->Args({4096, 60})
+    ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
 // Batched forest inference across all rows. Arg = num_threads.

@@ -56,6 +56,11 @@ void LibraClassifier::train(const trace::Dataset& dataset,
   }
   if (train.empty()) throw std::invalid_argument("empty training dataset");
   forest_.fit(train, rng);
+  // Freeze the freshly fitted trees for serving: every classify /
+  // classify_batch (and therefore the fleet's batched decide phase) rides
+  // the flat arena from here on. OnlineLibra retrains through this same
+  // path, so a hot-swapped model is recompiled automatically.
+  if (cfg_.compile_inference) forest_.compile(cfg_.compiled);
   trained_ = true;
 }
 

@@ -37,6 +37,12 @@ struct LibraClassifierConfig {
   // rate search, doing nothing costs one more observation window. 0
   // disables the gate (the paper's plain arg-max behavior).
   double min_confidence = 0.0;
+  // Freeze the forest into a flat-arena CompiledForest after every (re)train
+  // and serve inference through it (see ml/compiled_forest.h). With the
+  // default double-precision thresholds verdicts are bit-identical to the
+  // interpreted pointer walk; OFF keeps the legacy per-tree heap walk.
+  bool compile_inference = true;
+  ml::CompiledForestConfig compiled{};
 };
 
 class LibraClassifier {

@@ -9,7 +9,9 @@
 // once the chosen mechanism's outcome and the periodic beam refreshes
 // reveal what the right call was) enter a sliding window; the forest is
 // retrained every `retrain_every` new events on the seed dataset plus the
-// window.
+// window. Each retrain goes through LibraClassifier::train, so the
+// deployed model is re-frozen into its compiled flat-arena form (see
+// ml/compiled_forest.h) on every hot swap.
 #pragma once
 
 #include <deque>

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace libra::ml {
 
@@ -159,6 +161,60 @@ int DecisionTree::build(const DataSet& data, std::vector<std::size_t>& indices,
 void DecisionTree::import_model(std::vector<Node> nodes,
                                 std::vector<double> importances,
                                 int num_classes) {
+  // Deserialized state is untrusted: a corrupt model file must fail loudly
+  // here, not as out-of-bounds reads or an infinite predict() walk later.
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("DecisionTree::import_model: " + what);
+  };
+  if (num_classes < 2) {
+    fail("num_classes must be >= 2, got " + std::to_string(num_classes));
+  }
+  const auto n = static_cast<int>(nodes.size());
+  for (int id = 0; id < n; ++id) {
+    const Node& node = nodes[static_cast<std::size_t>(id)];
+    if (node.label < 0 || node.label >= num_classes) {
+      fail("node " + std::to_string(id) + " label " +
+           std::to_string(node.label) + " outside [0, " +
+           std::to_string(num_classes) + ")");
+    }
+    if (node.feature >= 0) {
+      if (!importances.empty() &&
+          node.feature >= static_cast<int>(importances.size())) {
+        fail("node " + std::to_string(id) + " splits on feature " +
+             std::to_string(node.feature) + " but the model has " +
+             std::to_string(importances.size()) + " features");
+      }
+      if (node.left < 0 || node.left >= n || node.right < 0 ||
+          node.right >= n) {
+        fail("node " + std::to_string(id) + " child index out of range");
+      }
+    }
+  }
+  if (n > 0) {
+    // Reachability walk from the root: in a well-formed binary tree every
+    // node is referenced exactly once, so a revisit means a cycle (or a
+    // shared subtree) and a shortfall means orphaned nodes.
+    std::vector<char> visited(nodes.size(), 0);
+    std::vector<int> stack{0};
+    int seen = 0;
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (visited[static_cast<std::size_t>(id)]) {
+        fail("cycle or shared subtree at node " + std::to_string(id));
+      }
+      visited[static_cast<std::size_t>(id)] = 1;
+      ++seen;
+      const Node& node = nodes[static_cast<std::size_t>(id)];
+      if (node.feature >= 0) {
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+    if (seen != n) {
+      fail(std::to_string(n - seen) + " node(s) unreachable from the root");
+    }
+  }
   nodes_ = std::move(nodes);
   importances_ = importances;
   raw_importances_ = std::move(importances);

@@ -53,6 +53,10 @@ class DecisionTree : public Classifier {
   const std::vector<Node>& nodes() const { return nodes_; }
   int num_classes() const { return num_classes_; }
   // Restore a tree from serialized state (replaces any fit model).
+  // Validates the untrusted input -- child indices in range, no cycles or
+  // shared/orphaned subtrees, labels within [0, num_classes), split
+  // features within the importance vector -- and throws
+  // std::invalid_argument on any violation.
   void import_model(std::vector<Node> nodes, std::vector<double> importances,
                     int num_classes);
 

@@ -45,13 +45,9 @@ DecisionTree load_tree(std::istream& in) {
     if (!(in >> n.feature >> n.threshold >> n.left >> n.right >> n.label)) {
       throw std::runtime_error("model parse error: tree node");
     }
-    if (n.feature >= 0 &&
-        (n.left < 0 || n.right < 0 ||
-         n.left >= static_cast<int>(n_nodes) ||
-         n.right >= static_cast<int>(n_nodes))) {
-      throw std::runtime_error("model parse error: dangling child index");
-    }
   }
+  // Structural validation (child ranges, cycles, labels, feature bounds)
+  // happens in import_model, which throws std::invalid_argument.
   std::vector<double> importances(n_features);
   for (double& imp : importances) {
     if (!(in >> imp)) {

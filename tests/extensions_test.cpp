@@ -263,9 +263,10 @@ TEST(ModelIo, ThreeClassForestRoundTripVotesBitIdentical) {
 TEST(ModelIo, RejectsGarbageAndDanglingIndices) {
   std::stringstream garbage("nope");
   EXPECT_THROW(ml::load_tree(garbage), std::runtime_error);
-  // A node referencing a child beyond the node table must be rejected.
+  // A node referencing a child beyond the node table must be rejected —
+  // structural validation lives in import_model (std::invalid_argument).
   std::stringstream dangling("libra-tree-v1 1 2 0\n0 0.5 5 6 0\n\n");
-  EXPECT_THROW(ml::load_tree(dangling), std::runtime_error);
+  EXPECT_THROW(ml::load_tree(dangling), std::invalid_argument);
 }
 
 TEST(ModelIo, ForestFileRoundTrip) {

@@ -22,35 +22,40 @@ using libra::testing::make_record;
 
 // A trained 3-class classifier over clearly separated synthetic cases,
 // with a multi-threaded forest: the fleet contract must hold under
-// parallel batched inference.
+// parallel batched inference. `compiled` picks the flat-arena serving path
+// vs. the legacy pointer walk (both train the identical forest).
+core::LibraClassifier make_fleet_classifier(bool compiled) {
+  trace::Dataset ds;
+  for (int i = 0; i < 40; ++i) {
+    trace::CaseRecord ba = make_record(4, -1, 4);
+    ba.init_best.snr_db = 20.0;
+    ba.new_at_init_pair.snr_db = 5.0 - 0.1 * (i % 5);
+    ba.new_at_init_pair.tof_ns = std::nullopt;
+    ds.records.push_back(ba);
+    trace::CaseRecord ra = make_record(8, 5, 5);
+    ra.init_best.snr_db = 26.0;
+    ra.init_best.tof_ns = 20.0;
+    ra.new_at_init_pair.snr_db = 19.0 - 0.1 * (i % 7);
+    ra.new_at_init_pair.tof_ns = 45.0;
+    ds.records.push_back(ra);
+    trace::CaseRecord na = make_record(6, 6, 6);
+    na.forced_na = true;
+    na.init_best.snr_db = 22.0;
+    na.new_at_init_pair.snr_db = 22.0 - 0.05 * (i % 3);
+    ds.na_records.push_back(na);
+  }
+  core::LibraClassifierConfig cfg;
+  cfg.forest.num_threads = 4;  // num_threads = K in the fleet contract
+  cfg.compile_inference = compiled;
+  core::LibraClassifier c(cfg);
+  util::Rng rng(1);
+  c.train(ds, {}, rng);
+  return c;
+}
+
 const core::LibraClassifier& fleet_classifier() {
-  static const core::LibraClassifier clf = [] {
-    trace::Dataset ds;
-    for (int i = 0; i < 40; ++i) {
-      trace::CaseRecord ba = make_record(4, -1, 4);
-      ba.init_best.snr_db = 20.0;
-      ba.new_at_init_pair.snr_db = 5.0 - 0.1 * (i % 5);
-      ba.new_at_init_pair.tof_ns = std::nullopt;
-      ds.records.push_back(ba);
-      trace::CaseRecord ra = make_record(8, 5, 5);
-      ra.init_best.snr_db = 26.0;
-      ra.init_best.tof_ns = 20.0;
-      ra.new_at_init_pair.snr_db = 19.0 - 0.1 * (i % 7);
-      ra.new_at_init_pair.tof_ns = 45.0;
-      ds.records.push_back(ra);
-      trace::CaseRecord na = make_record(6, 6, 6);
-      na.forced_na = true;
-      na.init_best.snr_db = 22.0;
-      na.new_at_init_pair.snr_db = 22.0 - 0.05 * (i % 3);
-      ds.na_records.push_back(na);
-    }
-    core::LibraClassifierConfig cfg;
-    cfg.forest.num_threads = 4;  // num_threads = K in the fleet contract
-    core::LibraClassifier c(cfg);
-    util::Rng rng(1);
-    c.train(ds, {}, rng);
-    return c;
-  }();
+  static const core::LibraClassifier clf =
+      make_fleet_classifier(/*compiled=*/true);
   return clf;
 }
 
@@ -70,14 +75,17 @@ struct Station {
   std::unique_ptr<core::LinkController> controller;
   sim::SessionScript script;
 
-  Station(const array::Codebook* codebook, geom::Vec2 client_pos, bool libra)
+  // `clf` = the LiBRA classifier serving this station, or nullptr for the
+  // RA-first baseline controller.
+  Station(const array::Codebook* codebook, geom::Vec2 client_pos,
+          const core::LibraClassifier* clf)
       : env(env::make_lobby()),
         ap({2, 6}, 0.0, codebook),
         client(client_pos, 180.0, codebook),
         link(&env, &ap, &client) {
-    if (libra) {
+    if (clf != nullptr) {
       controller = std::make_unique<core::LibraController>(
-          &link, &shared_error_model(), &fleet_classifier());
+          &link, &shared_error_model(), clf);
     } else {
       controller = std::make_unique<core::RaFirstController>(
           &link, &shared_error_model(), core::ControllerConfig{});
@@ -88,31 +96,32 @@ struct Station {
 // A 4-station mixed fleet with per-station impairments and staggered
 // session lengths (station 3 finishes early and sits out later ticks).
 std::vector<std::unique_ptr<Station>> build_stations(
-    const array::Codebook* codebook) {
+    const array::Codebook* codebook,
+    const core::LibraClassifier* clf = &fleet_classifier()) {
   std::vector<std::unique_ptr<Station>> stations;
-  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{10, 6},
-                                               /*libra=*/true));
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{10, 6}, clf));
   stations[0]->script.duration_ms = 2000.0;
   stations[0]->script.rx_trajectory =
       sim::Trajectory::stationary({10, 6}, 180.0);
   stations[0]->script.blockage.push_back({600.0, 1400.0, {{6, 6}, 0.3, 35.0}});
 
-  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{12, 7},
-                                               /*libra=*/true));
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{12, 7}, clf));
   stations[1]->script.duration_ms = 2000.0;
   stations[1]->script.rx_trajectory =
       sim::Trajectory::walk({12, 7}, {18, 8}, 2000.0, geom::Vec2{2, 6});
 
-  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{9, 5},
-                                               /*libra=*/false));
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{9, 5}, nullptr));
   stations[2]->script.duration_ms = 2000.0;
   stations[2]->script.rx_trajectory =
       sim::Trajectory::stationary({9, 5}, 180.0);
   stations[2]->script.interference.push_back(
       {500.0, 1500.0, {{10, 1}, 50.0, 0.5}});
 
-  stations.push_back(std::make_unique<Station>(codebook, geom::Vec2{11, 6},
-                                               /*libra=*/true));
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{11, 6}, clf));
   stations[3]->script.duration_ms = 800.0;  // early finisher
   stations[3]->script.rx_trajectory =
       sim::Trajectory::stationary({11, 6}, 180.0);
@@ -176,8 +185,9 @@ TEST(Fleet, BitIdenticalToIndependentSessions) {
 
 // Per-link results from one fleet run, flattened for comparison.
 std::vector<sim::SessionResult> run_build_stations_fleet(
-    const array::Codebook* codebook, std::uint64_t seed) {
-  auto stations = build_stations(codebook);
+    const array::Codebook* codebook, std::uint64_t seed,
+    const core::LibraClassifier* clf = &fleet_classifier()) {
+  auto stations = build_stations(codebook, clf);
   std::vector<sim::FleetLink> members;
   for (auto& s : stations) {
     members.push_back({&s->env, &s->link, s->controller.get(), s->script});
@@ -204,6 +214,52 @@ TEST(Fleet, TelemetryOnOffBitIdentical) {
   for (std::size_t i = 0; i < with_obs.size(); ++i) {
     const sim::SessionResult& a = with_obs[i];
     const sim::SessionResult& b = without_obs[i];
+    EXPECT_EQ(a.frames, b.frames) << "link " << i;
+    EXPECT_EQ(a.bytes_mb, b.bytes_mb) << "link " << i;
+    EXPECT_EQ(a.avg_goodput_mbps, b.avg_goodput_mbps) << "link " << i;
+    EXPECT_EQ(a.adaptations_ba, b.adaptations_ba) << "link " << i;
+    EXPECT_EQ(a.adaptations_ra, b.adaptations_ra) << "link " << i;
+    EXPECT_EQ(a.outages, b.outages) << "link " << i;
+    EXPECT_EQ(a.total_outage_ms, b.total_outage_ms) << "link " << i;
+    ASSERT_EQ(a.frame_log.size(), b.frame_log.size()) << "link " << i;
+    for (std::size_t f = 0; f < a.frame_log.size(); ++f) {
+      ASSERT_EQ(a.frame_log[f].t_ms, b.frame_log[f].t_ms)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].mcs, b.frame_log[f].mcs)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].goodput_mbps, b.frame_log[f].goodput_mbps)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].ack, b.frame_log[f].ack)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(a.frame_log[f].action, b.frame_log[f].action)
+          << "link " << i << " frame " << f;
+    }
+  }
+}
+
+// Compiled flat-arena inference is a pure serving-path optimization: a
+// fleet served by the compiled forest must be bit-identical, frame for
+// frame, to the same fleet served by the interpreted pointer walk. (In
+// double-threshold mode the two engines evaluate the exact same
+// comparisons; only the memory layout differs.)
+TEST(Fleet, CompiledInferenceOnOffBitIdentical) {
+  const array::Codebook codebook;
+  const core::LibraClassifier compiled_clf =
+      make_fleet_classifier(/*compiled=*/true);
+  const core::LibraClassifier interpreted_clf =
+      make_fleet_classifier(/*compiled=*/false);
+  ASSERT_NE(compiled_clf.forest().compiled(), nullptr);
+  ASSERT_EQ(interpreted_clf.forest().compiled(), nullptr);
+
+  const std::vector<sim::SessionResult> compiled =
+      run_build_stations_fleet(&codebook, 77, &compiled_clf);
+  const std::vector<sim::SessionResult> interpreted =
+      run_build_stations_fleet(&codebook, 77, &interpreted_clf);
+
+  ASSERT_EQ(compiled.size(), interpreted.size());
+  for (std::size_t i = 0; i < compiled.size(); ++i) {
+    const sim::SessionResult& a = compiled[i];
+    const sim::SessionResult& b = interpreted[i];
     EXPECT_EQ(a.frames, b.frames) << "link " << i;
     EXPECT_EQ(a.bytes_mb, b.bytes_mb) << "link " << i;
     EXPECT_EQ(a.avg_goodput_mbps, b.avg_goodput_mbps) << "link " << i;
@@ -307,7 +363,7 @@ TEST(Fleet, NullMembersThrow) {
 
 TEST(Fleet, InvalidScriptThrows) {
   const array::Codebook codebook;
-  Station station(&codebook, {10, 6}, /*libra=*/false);
+  Station station(&codebook, {10, 6}, nullptr);
   station.script.duration_ms = 0.0;
   std::vector<sim::FleetLink> members;
   members.push_back({&station.env, &station.link, station.controller.get(),

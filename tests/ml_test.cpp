@@ -2,10 +2,13 @@
 
 #include <cmath>
 #include <memory>
+#include <sstream>
 
+#include "ml/compiled_forest.h"
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "ml/metrics.h"
+#include "ml/model_io.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
 #include "ml/svm.h"
@@ -356,6 +359,282 @@ TEST(RandomForest, MajorityVoteMulticlass) {
   RandomForest rf;
   rf.fit(d, rng);
   EXPECT_EQ(rf.predict(std::vector<double>{6.0}), 2);
+}
+
+// ---------- compiled forest ----------
+
+// Three separable 1-D clusters (the 3-class shape LiBRA deploys).
+DataSet three_class(int n, util::Rng& rng) {
+  DataSet d(1);
+  for (int i = 0; i < n; ++i) {
+    const int y = rng.uniform_int(0, 2);
+    d.add(std::vector<double>{y * 3.0 + rng.gaussian(0, 0.6)}, y);
+  }
+  return d;
+}
+
+// The compiled arena in double mode must reproduce the pointer walk bit
+// for bit: same labels, same vote fractions, single-row and batch.
+void expect_compiled_matches_interpreted(const RandomForest& interpreted,
+                                         const CompiledForest& compiled,
+                                         const DataSet& test) {
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(compiled.predict(test.row(i)), interpreted.predict(test.row(i)))
+        << "row " << i;
+    EXPECT_EQ(compiled.vote_fractions(test.row(i)),
+              interpreted.vote_fractions(test.row(i)))
+        << "row " << i;
+  }
+  EXPECT_EQ(compiled.predict_batch(test), interpreted.predict_batch(test));
+  EXPECT_EQ(compiled.vote_fractions_batch(test),
+            interpreted.vote_fractions_batch(test));
+}
+
+TEST(CompiledForest, BitIdenticalTwoClass) {
+  util::Rng rng(40);
+  const DataSet train = xor_data(60, rng);
+  const DataSet test = xor_data(40, rng);
+  RandomForestConfig cfg;
+  cfg.num_trees = 15;
+  RandomForest rf(cfg);
+  rf.fit(train, rng);
+  const CompiledForest compiled(rf);  // rf itself stays interpreted
+  EXPECT_EQ(compiled.num_trees(), 15);
+  EXPECT_EQ(compiled.num_classes(), rf.num_classes());
+  EXPECT_GT(compiled.arena_bytes(), 0u);
+  expect_compiled_matches_interpreted(rf, compiled, test);
+}
+
+TEST(CompiledForest, BitIdenticalThreeClass) {
+  util::Rng rng(41);
+  const DataSet train = three_class(240, rng);
+  const DataSet test = three_class(120, rng);
+  RandomForestConfig cfg;
+  cfg.num_trees = 25;
+  RandomForest rf(cfg);
+  rf.fit(train, rng);
+  const CompiledForest compiled(rf);
+  EXPECT_EQ(compiled.num_classes(), 3);
+  expect_compiled_matches_interpreted(rf, compiled, test);
+}
+
+TEST(CompiledForest, BitIdenticalAfterModelIoRoundTrip) {
+  util::Rng rng(42);
+  const DataSet train = three_class(200, rng);
+  const DataSet test = three_class(100, rng);
+  RandomForestConfig cfg;
+  cfg.num_trees = 12;
+  RandomForest rf(cfg);
+  rf.fit(train, rng);
+
+  std::stringstream io;
+  save_forest(rf, io);
+  RandomForest loaded = load_forest(io);
+  const CompiledForest compiled(loaded);
+  // Serialization quantizes nothing (max_digits10 text round-trip), so the
+  // compiled round-tripped forest must still match the in-memory walk.
+  expect_compiled_matches_interpreted(rf, compiled, test);
+}
+
+TEST(CompiledForest, RowBlockedPoolMatchesSerial) {
+  util::Rng rng(43);
+  const DataSet train = xor_data(80, rng);
+  const DataSet test = xor_data(200, rng);
+  RandomForest rf;
+  rf.fit(train, rng);
+  CompiledForestConfig cfg;
+  cfg.row_block = 16;  // force several blocks
+  const CompiledForest compiled(rf, cfg);
+  util::ThreadPool pool(4);
+  EXPECT_EQ(compiled.vote_fractions_batch(test, &pool),
+            compiled.vote_fractions_batch(test, nullptr));
+  EXPECT_EQ(compiled.predict_batch(test, &pool),
+            compiled.predict_batch(test, nullptr));
+}
+
+TEST(CompiledForest, ForestDispatchesThroughCompiledForm) {
+  util::Rng rng(44);
+  const DataSet train = xor_data(60, rng);
+  const DataSet test = xor_data(40, rng);
+  RandomForest interpreted, compiled_rf;
+  util::Rng r1(45), r2(45);
+  interpreted.fit(train, r1);
+  compiled_rf.fit(train, r2);
+  compiled_rf.compile();
+  ASSERT_NE(compiled_rf.compiled(), nullptr);
+  // The forest's own entry points now ride the arena -- bit-identically.
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    EXPECT_EQ(compiled_rf.predict(test.row(i)),
+              interpreted.predict(test.row(i)));
+    EXPECT_EQ(compiled_rf.vote_fractions(test.row(i)),
+              interpreted.vote_fractions(test.row(i)));
+  }
+  EXPECT_EQ(compiled_rf.predict_batch(test), interpreted.predict_batch(test));
+  EXPECT_EQ(compiled_rf.vote_fractions_batch(test),
+            interpreted.vote_fractions_batch(test));
+  // Refitting drops the stale compiled form.
+  util::Rng r3(46);
+  compiled_rf.fit(train, r3);
+  EXPECT_EQ(compiled_rf.compiled(), nullptr);
+}
+
+TEST(CompiledForest, FloatThresholdModeStaysAccurate) {
+  util::Rng rng(47);
+  const DataSet train = blobs(100, rng);
+  const DataSet test = blobs(60, rng);
+  RandomForest rf;
+  rf.fit(train, rng);
+  CompiledForestConfig cfg;
+  cfg.precision = ThresholdPrecision::kFloat;
+  const CompiledForest compiled(rf, cfg);
+  // Float thresholds quantize split points, so bit-identity is out of
+  // contract; on well-separated data the verdicts still agree.
+  const std::vector<Label> a = compiled.predict_batch(test);
+  const std::vector<Label> b = rf.predict_batch(test);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) agree += a[i] == b[i];
+  EXPECT_GE(agree, a.size() - 2);
+}
+
+TEST(CompiledForest, CompileUnfittedThrows) {
+  RandomForest rf;
+  EXPECT_THROW(rf.compile(), std::logic_error);
+  EXPECT_THROW(CompiledForest{rf}, std::invalid_argument);
+}
+
+// ---------- model import validation ----------
+
+TEST(ImportModel, ChildIndexOutOfRangeThrows) {
+  std::vector<DecisionTree::Node> nodes(2);
+  nodes[0].feature = 0;
+  nodes[0].left = 1;
+  nodes[0].right = 7;  // out of range
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+  nodes[0].right = -3;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImportModel, CycleThrows) {
+  std::vector<DecisionTree::Node> nodes(3);
+  nodes[0].feature = 0;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[1].feature = 0;
+  nodes[1].left = 0;  // back edge to the root
+  nodes[1].right = 2;
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImportModel, SharedSubtreeThrows) {
+  std::vector<DecisionTree::Node> nodes(2);
+  nodes[0].feature = 0;
+  nodes[0].left = 1;
+  nodes[0].right = 1;  // both children alias one leaf
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImportModel, UnreachableNodeThrows) {
+  std::vector<DecisionTree::Node> nodes(2);  // root is a leaf, node 1 orphaned
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImportModel, LabelOutsideNumClassesThrows) {
+  std::vector<DecisionTree::Node> nodes(1);
+  nodes[0].label = 2;
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {1.0}, 2), std::invalid_argument);
+}
+
+TEST(ImportModel, FeatureBeyondImportancesThrows) {
+  std::vector<DecisionTree::Node> nodes(3);
+  nodes[0].feature = 5;  // model only has 2 features
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  DecisionTree tree;
+  EXPECT_THROW(tree.import_model(nodes, {0.5, 0.5}, 2),
+               std::invalid_argument);
+}
+
+TEST(ImportModel, ValidTreeAccepted) {
+  std::vector<DecisionTree::Node> nodes(3);
+  nodes[0].feature = 0;
+  nodes[0].threshold = 0.5;
+  nodes[0].left = 1;
+  nodes[0].right = 2;
+  nodes[2].label = 1;
+  DecisionTree tree;
+  tree.import_model(nodes, {1.0}, 2);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 1);
+}
+
+TEST(ImportModel, ForestClassCountMismatchThrows) {
+  util::Rng rng(48);
+  const DataSet train = three_class(150, rng);
+  DecisionTree tree;
+  tree.fit(train, rng);  // a 3-class tree
+  std::vector<DecisionTree> trees{tree};
+  RandomForest forest;
+  EXPECT_THROW(
+      forest.import_model(trees, std::vector<double>(train.num_features()), 2),
+      std::invalid_argument);
+}
+
+TEST(ImportModel, ForestImportanceSizeMismatchThrows) {
+  util::Rng rng(49);
+  const DataSet train = blobs(40, rng);  // 2 features
+  DecisionTree tree;
+  tree.fit(train, rng);
+  std::vector<DecisionTree> trees{tree};
+  RandomForest forest;
+  EXPECT_THROW(forest.import_model(trees, {1.0, 0.0, 0.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(ImportModel, TamperedSerializedForestThrows) {
+  util::Rng rng(50);
+  const DataSet train = blobs(40, rng);
+  RandomForestConfig cfg;
+  cfg.num_trees = 3;
+  RandomForest rf(cfg);
+  rf.fit(train, rng);
+  std::stringstream out;
+  save_forest(rf, out);
+  // Point the first internal node's left child out of range.
+  std::string text = out.str();
+  const std::string needle = "libra-tree-v1";
+  const std::size_t tree_pos = text.find(needle);
+  ASSERT_NE(tree_pos, std::string::npos);
+  const std::size_t line_end = text.find('\n', tree_pos);
+  std::size_t node_start = line_end + 1;
+  // Walk node lines until an internal one (feature >= 0), then corrupt it.
+  bool corrupted = false;
+  while (!corrupted) {
+    const std::size_t node_end = text.find('\n', node_start);
+    ASSERT_NE(node_end, std::string::npos);
+    std::istringstream line(text.substr(node_start, node_end - node_start));
+    int feature, left, right, label;
+    double threshold;
+    ASSERT_TRUE(
+        static_cast<bool>(line >> feature >> threshold >> left >> right >>
+                          label));
+    if (feature >= 0) {
+      std::ostringstream bad;
+      bad << feature << ' ' << threshold << ' ' << 999999 << ' ' << right
+          << ' ' << label;
+      text.replace(node_start, node_end - node_start, bad.str());
+      corrupted = true;
+    } else {
+      node_start = node_end + 1;
+    }
+  }
+  std::istringstream in(text);
+  EXPECT_THROW(load_forest(in), std::invalid_argument);
 }
 
 // ---------- SVM ----------

@@ -68,8 +68,8 @@ TEST(ObsRegistry, GaugeSetAndAdd) {
   EXPECT_DOUBLE_EQ(g.value(), 3.5);
   g.add(-1.25);
   EXPECT_DOUBLE_EQ(g.value(), 2.25);
-  const auto* gv =
-      obs::Registry::global().snapshot().find_gauge("obs_test.gauge");
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto* gv = snap.find_gauge("obs_test.gauge");
   ASSERT_NE(gv, nullptr);
   EXPECT_DOUBLE_EQ(gv->value, 2.25);
 }
@@ -80,7 +80,8 @@ TEST(ObsRegistry, HistogramObservationsMergeIntoSnapshot) {
   h.observe(3.0);
   h.observe(5.0);
   h.observe(100.0);
-  const auto* hv = reg.snapshot().find_histogram("obs_test.hist");
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const auto* hv = snap.find_histogram("obs_test.hist");
   ASSERT_NE(hv, nullptr);
   EXPECT_EQ(hv->data.count, 3u);
   EXPECT_DOUBLE_EQ(hv->data.sum, 108.0);

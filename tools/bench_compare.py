@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on real_time regressions.
+
+CI's performance-regression gate: the release job runs the serving-path
+micro benches (BM_FleetClassifyBatch, BM_CompiledForestBatch), then compares
+the fresh JSON against the checked-in BENCH_baseline.json. Any selected
+benchmark whose real_time grew by more than --threshold (default 25%)
+fails the job; a benchmark present in the baseline but missing from the
+current run also fails (deleting a bench must be an explicit baseline
+refresh, not a silent gap).
+
+Usage:
+  tools/bench_compare.py BENCH_baseline.json fleet_bench.json \
+      --filter 'BM_FleetClassifyBatch|BM_CompiledForestBatch' \
+      --threshold 0.25 --report bench_compare.md
+
+Refreshing the baseline: download the release job's bench JSON artifact and
+commit it as BENCH_baseline.json (tools/bench_compare.py exits 0 when a
+file is compared against itself).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# google-benchmark time_unit -> nanoseconds.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    """Return {name: real_time_ns} for every non-aggregate benchmark."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip mean/median/stddev aggregate rows from --benchmark_repetitions.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        real_time = bench.get("real_time")
+        if name is None or real_time is None:
+            continue
+        unit = _UNIT_NS.get(bench.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(f"{path}: unknown time_unit for {name!r}")
+        out[name] = float(real_time) * unit
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3f} {unit}"
+    return f"{ns:.1f} ns"
+
+
+def compare(baseline, current, pattern, threshold):
+    """Return (rows, regressions, missing) over baseline names matching
+    pattern; rows are (name, base_ns, cur_ns, ratio, status)."""
+    rows = []
+    regressions = []
+    missing = []
+    for name in sorted(baseline):
+        if not pattern.search(name):
+            continue
+        base_ns = baseline[name]
+        if name not in current:
+            missing.append(name)
+            rows.append((name, base_ns, None, None, "MISSING"))
+            continue
+        cur_ns = current[name]
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append((name, base_ns, cur_ns, ratio, status))
+    return rows, regressions, missing
+
+
+def write_report(path, rows, regressions, missing, threshold, args):
+    lines = [
+        "# Benchmark comparison",
+        "",
+        f"Baseline: `{args.baseline}` — current: `{args.current}` — "
+        f"gate: real_time ratio > {1.0 + threshold:.2f}",
+        "",
+        "| benchmark | baseline | current | ratio | status |",
+        "|---|---|---|---|---|",
+    ]
+    for name, base_ns, cur_ns, ratio, status in rows:
+        cur = fmt_ns(cur_ns) if cur_ns is not None else "—"
+        rat = f"{ratio:.3f}" if ratio is not None else "—"
+        lines.append(
+            f"| {name} | {fmt_ns(base_ns)} | {cur} | {rat} | {status} |")
+    lines.append("")
+    if regressions or missing:
+        lines.append(
+            f"**FAIL**: {len(regressions)} regression(s), "
+            f"{len(missing)} missing benchmark(s).")
+    else:
+        lines.append("**PASS**: no regressions.")
+    lines.append("")
+    text = "\n".join(lines)
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regress vs. a baseline JSON.")
+    parser.add_argument("baseline", help="baseline google-benchmark JSON")
+    parser.add_argument("current", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed fractional real_time growth (default 0.25 = +25%%)")
+    parser.add_argument(
+        "--filter", default=".",
+        help="regex selecting benchmark names to gate (default: all)")
+    parser.add_argument(
+        "--report", default=None, help="write a markdown report here")
+    args = parser.parse_args()
+
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    pattern = re.compile(args.filter)
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    rows, regressions, missing = compare(
+        baseline, current, pattern, args.threshold)
+    if not rows:
+        print(f"error: no baseline benchmarks match filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+
+    print(write_report(args.report, rows, regressions, missing,
+                       args.threshold, args))
+    return 1 if (regressions or missing) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
