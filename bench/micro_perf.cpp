@@ -20,6 +20,7 @@
 #include "phy/error_model.h"
 #include "phy/pdp.h"
 #include "sim/event_sim.h"
+#include "sim/fleet.h"
 #include "trace/dataset.h"
 #include "util/fft.h"
 
@@ -313,6 +314,51 @@ BENCHMARK(BM_FleetClassifyBatch)
     ->Args({128, 1})
     ->Args({128, 4})
     ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// The fault-injection hooks on the serving pipeline. Arg(0) = no FaultPlan
+// attached (every hook is a null-pointer check -- the cost every unfaulted
+// run pays, which must stay ~zero), Arg(1) = the kitchen-sink demo plan.
+// One iteration = one full 3-station faulted-canonical fleet run.
+void BM_FleetWithFaults(benchmark::State& state) {
+  const bool faulted = state.range(0) != 0;
+  const array::Codebook codebook;
+  auto& f = Fixture::get();
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<env::Environment>> envs;
+    std::vector<std::unique_ptr<array::PhasedArray>> arrays;
+    std::vector<std::unique_ptr<channel::Link>> links;
+    std::vector<std::unique_ptr<core::LinkController>> controllers;
+    std::vector<sim::FleetLink> members;
+    for (int i = 0; i < 3; ++i) {
+      envs.push_back(std::make_unique<env::Environment>(env::make_lobby()));
+      arrays.push_back(
+          std::make_unique<array::PhasedArray>(geom::Vec2{2, 6}, 0.0,
+                                               &codebook));
+      arrays.push_back(std::make_unique<array::PhasedArray>(
+          geom::Vec2{10.0 + i, 6}, 180.0, &codebook));
+      links.push_back(std::make_unique<channel::Link>(
+          envs.back().get(), arrays[arrays.size() - 2].get(),
+          arrays.back().get()));
+      controllers.push_back(std::make_unique<core::LibraController>(
+          links.back().get(), &f.em, &f.classifier));
+      sim::SessionScript script;
+      script.duration_ms = 500.0;
+      script.rx_trajectory =
+          sim::Trajectory::stationary({10.0 + i, 6}, 180.0);
+      members.push_back({envs.back().get(), links.back().get(),
+                         controllers.back().get(), script});
+    }
+    sim::FleetConfig cfg;
+    cfg.seed = 77;
+    if (faulted) cfg.faults = faults::demo_plan(1234);
+    benchmark::DoNotOptimize(sim::run_fleet(members, cfg));
+  }
+}
+BENCHMARK(BM_FleetWithFaults)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 // Telemetry overhead at a representative instrumentation site: one span,

@@ -5,9 +5,13 @@
 // rows, and a single batched forest pass returns every verdict -- the
 // multi-STA deployment the observe/decide/apply split exists for.
 //
-// Usage: fleet_serving [--trace-out FILE]
+// Usage: fleet_serving [--trace-out FILE] [--faults SEED]
 //   --trace-out FILE   write the run's trace spans as Chrome trace-event
 //                      JSON (open in Perfetto or chrome://tracing)
+//   --faults SEED      attach the demo fault schedule (faults::demo_plan
+//                      seeded from SEED): ACK loss bursts, garbage PHY,
+//                      a classifier outage window -- and watch the
+//                      degradation ladder fire in the telemetry scrape
 #include <cstdio>
 #include <vector>
 
@@ -70,11 +74,16 @@ int main(int argc, char** argv) {
 
   sim::FleetConfig cfg;
   cfg.seed = 42;
+  if (args.flag("faults")) {
+    cfg.faults = faults::demo_plan(
+        static_cast<std::uint64_t>(args.number("faults", 1)));
+  }
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
 
   std::printf("fleet of %d stations, %d lockstep ticks, %d feature rows "
-              "served in batches\n\n",
-              kStations, result.ticks, result.batched_rows);
+              "served in batches%s\n\n",
+              kStations, result.ticks, result.batched_rows,
+              cfg.faults.empty() ? "" : " (demo fault schedule attached)");
   std::printf("%-8s %-10s %-8s %-6s %-6s %-8s %s\n", "station", "goodput",
               "bytes", "BA", "RA", "outages", "outage ms");
   for (int s = 0; s < kStations; ++s) {

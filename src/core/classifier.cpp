@@ -1,5 +1,7 @@
 #include "core/classifier.h"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/span.h"
@@ -13,6 +15,7 @@ struct ClassifierMetrics {
   obs::Counter& classifies;
   obs::Counter& batch_calls;
   obs::Counter& rows;
+  obs::Counter& rejected_rows;
   obs::Histogram& batch_size;
   obs::Histogram& batch_latency_us;
 };
@@ -21,9 +24,17 @@ ClassifierMetrics& classifier_metrics() {
   static ClassifierMetrics m{r.counter("classifier.classifies"),
                              r.counter("classifier.batch_calls"),
                              r.counter("classifier.rows"),
+                             r.counter("classifier.rejected_rows"),
                              r.histogram("classifier.batch_size"),
                              r.histogram("classifier.batch_latency_us")};
   return m;
+}
+
+bool all_finite(const trace::FeatureVector& features) {
+  for (const double v : features.v) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
 }
 }  // namespace
 
@@ -92,7 +103,15 @@ trace::Action LibraClassifier::verdict_from_votes(
 trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
                                         util::Rng& rng) const {
   if (!trained_) throw std::logic_error("classifier not trained");
-  classifier_metrics().classifies.inc();
+  ClassifierMetrics& metrics = classifier_metrics();
+  metrics.classifies.inc();
+  if (!all_finite(features)) {
+    metrics.rejected_rows.inc();
+    if (cfg_.non_finite_policy == NonFiniteFeaturePolicy::kReject) {
+      throw std::invalid_argument("classify: non-finite feature vector");
+    }
+    return trace::Action::kNA;  // graceful degradation: do nothing
+  }
   const trace::FeatureVector noisy = add_window_noise(features, rng);
   return verdict_from_votes(forest_.vote_fractions(noisy.v));
 }
@@ -113,21 +132,39 @@ std::vector<trace::Action> LibraClassifier::classify_batch(
   metrics.batch_size.observe(static_cast<double>(features.size()));
   // Jitter serially in row order -- each row consumes only its own link's
   // stream, so the batch boundary never changes what any link draws.
+  // Non-finite rows never reach the forest: under kReject the whole call
+  // throws naming the row; under kFallbackNA the row is demoted to kNA
+  // (consuming no draws -- identical to what classify() would have done on
+  // that link's own stream).
   ml::DataSet rows(trace::FeatureVector::kDim);
   rows.reserve(features.size());
+  std::vector<std::size_t> forest_row(features.size(),
+                                      std::numeric_limits<std::size_t>::max());
   for (std::size_t i = 0; i < features.size(); ++i) {
     if (rngs[i] == nullptr) {
       throw std::invalid_argument("classify_batch: null rng for row " +
                                   std::to_string(i));
     }
+    if (!all_finite(features[i])) {
+      metrics.rejected_rows.inc();
+      if (cfg_.non_finite_policy == NonFiniteFeaturePolicy::kReject) {
+        throw std::invalid_argument(
+            "classify_batch: non-finite feature vector at row " +
+            std::to_string(i));
+      }
+      continue;
+    }
+    forest_row[i] = rows.size();
     rows.add(add_window_noise(features[i], *rngs[i]).v, 0);
   }
-  // One pooled forest pass over every link's row.
+  // One pooled forest pass over every link's (finite) row.
   const std::vector<std::vector<double>> votes =
       forest_.vote_fractions_batch(rows);
-  std::vector<trace::Action> verdicts(features.size());
+  std::vector<trace::Action> verdicts(features.size(), trace::Action::kNA);
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
-    verdicts[i] = verdict_from_votes(votes[i]);
+    if (forest_row[i] != std::numeric_limits<std::size_t>::max()) {
+      verdicts[i] = verdict_from_votes(votes[forest_row[i]]);
+    }
   }
   return verdicts;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -12,20 +13,35 @@ namespace libra::core {
 
 namespace {
 // Decision-mix telemetry: how often each verdict fires across every
-// controller, plus the missing-ACK fallback rate.
+// controller, the missing-ACK fallback rate, and the degradation-ladder
+// rungs (rung 2 = inference unavailable/stale, COTS heuristic substituted;
+// rung 3 = observation unusable, last safe MCS held).
 struct VerdictCounters {
   obs::Counter& ba;
   obs::Counter& ra;
   obs::Counter& na;
   obs::Counter& no_ack_fallbacks;
+  obs::Counter& degraded_decisions;
+  obs::Counter& held_decisions;
 };
 VerdictCounters& verdict_counters() {
   obs::Registry& r = obs::Registry::global();
   static VerdictCounters c{r.counter("controller.verdict.ba"),
                            r.counter("controller.verdict.ra"),
                            r.counter("controller.verdict.na"),
-                           r.counter("controller.no_ack_fallbacks")};
+                           r.counter("controller.no_ack_fallbacks"),
+                           r.counter("controller.degraded_decisions"),
+                           r.counter("controller.held_decisions")};
   return c;
+}
+
+// A PHY observation the decision logic can act on: all scalar metrics
+// finite. Garbage-PHY faults (and any desynchronized baseband) fail this
+// and land on the hold-last-safe-MCS rung instead of propagating NaN into
+// triggers, features, or the upward prober.
+bool observation_usable(const phy::PhyObservation& obs) {
+  return std::isfinite(obs.snr_db) && std::isfinite(obs.noise_dbm) &&
+         std::isfinite(obs.cdr) && std::isfinite(obs.throughput_mbps);
 }
 
 // MCS occupancy: frames transmitted at each MCS index (one counter per
@@ -67,9 +83,28 @@ bool LinkController::is_working(double cdr, double tput_mbps) const {
 
 void LinkController::run_ba(util::Rng& rng) {
   const mac::SweepResult sweep = trainer_.exhaustive(*link_, sampler_, rng);
-  tx_beam_ = sweep.tx_beam;
-  rx_beam_ = sweep.rx_beam;
+  // An injected beam-training failure charges the sweep airtime but its
+  // responses are unusable: the link keeps the old pair.
+  const bool sweep_failed =
+      faults_ != nullptr && faults_->active() &&
+      faults_->query(faults::FaultKind::kBeamTrainingFailure, t_ms_).fired;
+  if (!sweep_failed) {
+    tx_beam_ = sweep.tx_beam;
+    rx_beam_ = sweep.rx_beam;
+  }
   t_ms_ += cfg_.ba_overhead_ms;
+}
+
+bool LinkController::classifier_faulted(double t_ms) {
+  return faults_ != nullptr && faults_->active() &&
+         faults_->query(faults::FaultKind::kClassifierOutage, t_ms).fired;
+}
+
+void LinkController::plan_missing_ack_fallback(DecisionRequest& request) const {
+  if (persistent_ack_loss() ||
+      !is_working(request.obs.cdr, request.obs.throughput_mbps)) {
+    request.precomputed = trace::Action::kRA;
+  }
 }
 
 void LinkController::begin_ra_walk() {
@@ -157,8 +192,40 @@ DecisionRequest LinkController::observe(util::Rng& rng) {
   report.goodput_mbps =
       report.ack ? error_model_->expected_throughput_mbps(frame_mcs, frame_snr)
                  : 0.0;
-  report.duration_ms = cfg_.fat_ms;
-  t_ms_ += cfg_.fat_ms;
+  double frame_ms = cfg_.fat_ms;
+  // Fault seam. Every link-stream draw for this frame's mechanics has
+  // happened, so injected faults (drawn from the link's separate fault
+  // stream) only change what the controller *sees* -- the ACK indicator
+  // feeding the loss EWMA, the PHY observation feeding triggers and
+  // features, and the frame clock -- never what the link draws.
+  if (faults_ != nullptr && faults_->active()) {
+    using faults::FaultKind;
+    const double t = report.t_ms;
+    if (faults_->query(FaultKind::kDropAck, t).fired) {
+      report.ack = false;  // the BA never arrived; the aggregate is lost
+      report.goodput_mbps = 0.0;
+    } else if (faults_->query(FaultKind::kDuplicateAck, t).fired) {
+      report.ack = true;  // ghost ACK: a stale BA can mask a dead frame
+    }
+    if (faults_->query(FaultKind::kStalePhy, t).fired) {
+      if (last_clean_obs_) request.obs = *last_clean_obs_;
+    } else if (faults_->query(FaultKind::kGarbagePhy, t).fired) {
+      faults::corrupt_observation(request.obs);
+    } else {
+      const faults::FaultInjector::Verdict truncated =
+          faults_->query(FaultKind::kTruncateFeatures, t);
+      if (truncated.fired) {
+        faults::truncate_observation(request.obs, truncated.magnitude);
+      } else {
+        last_clean_obs_ = request.obs;
+      }
+    }
+    const faults::FaultInjector::Verdict skew =
+        faults_->query(FaultKind::kClockSkew, t);
+    if (skew.fired) frame_ms = cfg_.fat_ms * (1.0 + skew.magnitude);
+  }
+  report.duration_ms = frame_ms;
+  t_ms_ += frame_ms;
   ack_loss_ewma_ = (1.0 - cfg_.ack_loss_ewma_weight) * ack_loss_ewma_ +
                    cfg_.ack_loss_ewma_weight * (report.ack ? 0.0 : 1.0);
 
@@ -199,6 +266,15 @@ DecisionRequest LinkController::observe(util::Rng& rng) {
 
   // Steady state: ask the policy what this frame's verdict needs.
   request.decision_due = true;
+  // Degradation ladder rung 3: the observation is unusable and ACKs still
+  // flow (persistent loss has its own obs-free rule in every policy) --
+  // hold the last safe MCS. The verdict stays kNA and apply() skips the
+  // upward prober so the garbage never reaches it.
+  if (!observation_usable(request.obs) && !persistent_ack_loss()) {
+    verdict_counters().held_decisions.inc();
+    request.hold_last_mcs = true;
+    return request;
+  }
   plan(request, rng);
   return request;
 }
@@ -231,6 +307,10 @@ void LinkController::apply(trace::Action verdict, DecisionRequest& request,
       break;
     case trace::Action::kNA: {
       counters.na.inc();
+      // Rung 3 of the degradation ladder: the observation was unusable, so
+      // camp on the current (last safe) MCS -- probing on garbage metrics
+      // could walk the link off a working rate.
+      if (request.hold_last_mcs) break;
       // Upward probing (shared by all policies, Sec. 8.1). To keep one
       // observation per frame, the prober's verdict applies to the next
       // frame's MCS.
@@ -277,6 +357,16 @@ LibraController::LibraController(channel::Link* link,
 
 void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
   (void)rng;
+  // Degradation ladder rung 2: the classifier is unavailable (an injected
+  // outage/timeout window), so degrade to the COTS missing-ACK heuristic
+  // wholesale. Checked before any cadence state so that under a full
+  // outage this controller is frame-for-frame the RaFirstController rule
+  // (tests/faults_test.cpp proves bit-identity).
+  if (classifier_faulted(request.report.t_ms)) {
+    verdict_counters().degraded_decisions.inc();
+    plan_missing_ack_fallback(request);
+    return;
+  }
   if (persistent_ack_loss()) {
     // Missing ACKs: no fresh PHY metrics, the distilled rule fires.
     verdict_counters().no_ack_fallbacks.inc();
@@ -292,8 +382,20 @@ void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
     return;
   }
   frames_since_decision_ = 0;
+  // Rung 2 again, for stale inputs: a non-finite feature (poisoned PDP/CSI
+  // taps can slip past the scalar usability check) must never reach the
+  // forest -- classify{,_batch} would reject it. Fall back instead.
+  const trace::FeatureVector features =
+      features_against_baseline(request.obs);
+  for (const double v : features.v) {
+    if (!std::isfinite(v)) {
+      verdict_counters().degraded_decisions.inc();
+      plan_missing_ack_fallback(request);
+      return;
+    }
+  }
   request.classifier = classifier_;
-  request.features = features_against_baseline(request.obs);
+  request.features = features;
 }
 
 void LibraController::note_verdict(trace::Action verdict,
@@ -307,11 +409,10 @@ void LibraController::note_verdict(trace::Action verdict,
 
 void RaFirstController::plan(DecisionRequest& request, util::Rng&) {
   // Trigger when the current MCS stops being a working MCS (Sec. 8.1);
-  // Algorithm: RA first, BA happens automatically if the walk fails.
-  if (persistent_ack_loss() ||
-      !is_working(request.obs.cdr, request.obs.throughput_mbps)) {
-    request.precomputed = trace::Action::kRA;
-  }
+  // Algorithm: RA first, BA happens automatically if the walk fails. This
+  // exact rule doubles as rung 2 of the degradation ladder, which is why
+  // it lives in the shared base helper.
+  plan_missing_ack_fallback(request);
 }
 
 void BaFirstController::plan(DecisionRequest& request, util::Rng&) {

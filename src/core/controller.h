@@ -34,6 +34,7 @@
 
 #include "core/classifier.h"
 #include "core/rate_adaptation.h"
+#include "faults/faults.h"
 #include "mac/ack.h"
 #include "mac/beam_training.h"
 #include "phy/sampler.h"
@@ -90,6 +91,10 @@ struct DecisionRequest {
   const LibraClassifier* classifier = nullptr;  // non-owning
   trace::FeatureVector features{};
   trace::Action precomputed = trace::Action::kNA;
+  // Degradation ladder rung 3 (hold-last-safe-MCS): the PHY observation is
+  // unusable (non-finite), so the verdict is kNA and apply() must not feed
+  // the garbage into the upward prober.
+  bool hold_last_mcs = false;
 
   bool needs_inference() const { return decision_due && classifier != nullptr; }
   // The verdict when no inference is needed (what decide() returns without
@@ -121,6 +126,14 @@ class LinkController {
   // Single-link compatibility wrapper: observe -> decide -> apply.
   FrameReport step(util::Rng& rng);
 
+  // Attach a deterministic fault source (faults/faults.h) to the
+  // observe/decide/apply seams, or detach with nullptr. Non-owning; with no
+  // injector (or an inert one) every code path is bit-identical to an
+  // un-faulted controller.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    faults_ = injector;
+  }
+
   double time_ms() const { return t_ms_; }
   array::BeamId tx_beam() const { return tx_beam_; }
   array::BeamId rx_beam() const { return rx_beam_; }
@@ -142,6 +155,14 @@ class LinkController {
   void begin_ra_walk();
 
   bool is_working(double cdr, double tput_mbps) const;
+  // Degradation ladder rung 2 trigger: the classifier is unavailable this
+  // frame (an injected outage/timeout window).
+  bool classifier_faulted(double t_ms);
+  // The rung-2 verdict itself: the COTS missing-ACK heuristic (trigger RA
+  // when ACKs are persistently missing or the MCS stopped working) -- the
+  // rule RaFirstController runs all the time, which is what a LiBRA AP
+  // degrades to when inference is unavailable.
+  void plan_missing_ack_fallback(DecisionRequest& request) const;
   // Snapshot the current observation as the reference "initial state" the
   // feature deltas are computed against.
   void rebaseline(const phy::PhyObservation& obs);
@@ -169,6 +190,10 @@ class LinkController {
   UpProber up_prober_;
   std::optional<phy::PhyObservation> baseline_;
   double ack_loss_ewma_ = 0.0;
+
+  faults::FaultInjector* faults_ = nullptr;  // non-owning; nullptr = clean
+  // Last clean observation, replayed by kStalePhy faults.
+  std::optional<phy::PhyObservation> last_clean_obs_;
 
   bool persistent_ack_loss() const {
     return ack_loss_ewma_ >= cfg_.ack_loss_trigger;

@@ -40,6 +40,7 @@ FleetResult run_fleet(std::span<const FleetLink> links,
                                   std::to_string(i));
     }
   }
+  cfg.faults.validate();
   FleetMetrics& metrics = fleet_metrics();
 
   // Fork every link's stream up front, in link order: the fleet schedule
@@ -49,6 +50,29 @@ FleetResult run_fleet(std::span<const FleetLink> links,
   rngs.reserve(links.size());
   for (std::size_t i = 0; i < links.size(); ++i) {
     rngs.push_back(fleet_rng.fork());
+  }
+
+  // Fault streams are forked off the *fault* seed, again in link order --
+  // never off the simulation streams, so attaching a plan perturbs nothing
+  // but the faults it injects, and an empty plan attaches nothing at all.
+  // The guard detaches every injector on any exit path (controllers are
+  // non-owning and may outlive this call).
+  struct InjectorGuard {
+    std::span<const FleetLink> links;
+    std::vector<faults::FaultInjector> injectors;
+    ~InjectorGuard() {
+      for (std::size_t i = 0; i < injectors.size(); ++i) {
+        links[i].controller->set_fault_injector(nullptr);
+      }
+    }
+  } guard{links, {}};
+  if (!cfg.faults.empty()) {
+    util::Rng fault_rng(cfg.faults.seed);
+    guard.injectors.reserve(links.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      guard.injectors.emplace_back(&cfg.faults, fault_rng.fork());
+      links[i].controller->set_fault_injector(&guard.injectors[i]);
+    }
   }
 
   std::vector<SessionDriver> drivers;

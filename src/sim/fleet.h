@@ -23,6 +23,7 @@
 
 #include <span>
 
+#include "faults/faults.h"
 #include "obs/metrics.h"
 #include "sim/session.h"
 #include "util/stats.h"
@@ -43,6 +44,13 @@ struct FleetConfig {
   // gets the (i+1)-th fork() of Rng(seed).
   std::uint64_t seed = 1;
   bool keep_frame_logs = false;
+  // Deterministic fault schedule (faults/faults.h). Every link gets its own
+  // fault stream, forked off Rng(faults.seed) in link order -- disjoint
+  // from the simulation streams above, so an empty plan (the default) is
+  // bit-identical to a run with no fault machinery at all, and a faulted
+  // run replays bit-for-bit from (seed, faults.seed) at any forest thread
+  // count. Validated up front; throws std::invalid_argument on a bad plan.
+  faults::FaultPlan faults{};
 };
 
 struct FleetResult {

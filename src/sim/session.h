@@ -15,6 +15,7 @@
 #include "channel/fading.h"
 #include "core/controller.h"
 #include "env/environment.h"
+#include "faults/faults.h"
 
 namespace libra::sim {
 
@@ -137,10 +138,15 @@ class SessionDriver {
 
 // Drive a controller through the script. The session mutates the
 // environment's blockers and the link's interferer according to the
-// episodes and moves the Rx along the trajectory.
+// episodes and moves the Rx along the trajectory. When `faults` is
+// non-null (and non-empty), a FaultInjector whose stream is the first fork
+// of Rng(faults->seed) is attached for the duration of the run -- exactly
+// the stream a 1-link fleet would hand the same controller, so single-link
+// and fleet faulted runs agree bit-for-bit.
 SessionResult run_session(env::Environment& environment, channel::Link& link,
                           core::LinkController& controller,
                           const SessionScript& script, util::Rng& rng,
-                          bool keep_frame_log = false);
+                          bool keep_frame_log = false,
+                          const faults::FaultPlan* faults = nullptr);
 
 }  // namespace libra::sim

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -93,6 +94,17 @@ inline FeatureVector extract_features(const CaseRecord& rec) {
   f.v[4] = util::pearson(rec.init_best.csi, rec.new_at_init_pair.csi);
   f.v[5] = cdr[static_cast<std::size_t>(rec.init_mcs)];
   f.v[6] = static_cast<double>(rec.init_mcs);
+  // A NaN/Inf input metric (corrupted capture, poisoned observation) must
+  // not propagate silently into training or inference; name the feature so
+  // the bad field in the record is identifiable.
+  for (int i = 0; i < FeatureVector::kDim; ++i) {
+    if (!std::isfinite(f.v[static_cast<std::size_t>(i)])) {
+      throw std::invalid_argument(
+          "extract_features: non-finite " +
+          std::string(FeatureVector::kNames[static_cast<std::size_t>(i)]) +
+          " feature (check the source record's PHY metrics)");
+    }
+  }
   return f;
 }
 

@@ -19,9 +19,14 @@
 //                      counters/histograms to stdout at the end
 //   --trace-out FILE   write buffered trace spans as Chrome trace-event
 //                      JSON (open in Perfetto or chrome://tracing)
+// `simulate` also accepts:
+//   --faults SEED      run the fleet stage under the demo fault schedule
+//                      (faults::demo_plan seeded from SEED) and report how
+//                      many faults were injected
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -192,7 +197,8 @@ int cmd_export_csv(const Args& args) {
 // simulator never touches the fleet serving path, so run the trained
 // classifier through a small lockstep fleet too -- the scrape and trace
 // then cover gather/decide/scatter and batched inference as deployed.
-void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed) {
+void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
+                     const faults::FaultPlan* faults_plan = nullptr) {
   constexpr int kStations = 4;
   phy::McsTable table;
   phy::ErrorModel em(&table);
@@ -229,9 +235,18 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed) {
 
   sim::FleetConfig cfg;
   cfg.seed = seed;
+  if (faults_plan != nullptr) cfg.faults = *faults_plan;
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
   std::printf("fleet stage: %d stations, %d ticks, %d batched rows\n",
               kStations, result.ticks, result.batched_rows);
+  if (faults_plan != nullptr) {
+    const auto* injected = result.metrics.find_counter("faults.injected");
+    std::printf("fault stage: plan seed %llu, %llu faults injected "
+                "(process-cumulative)\n",
+                static_cast<unsigned long long>(faults_plan->seed),
+                static_cast<unsigned long long>(
+                    injected != nullptr ? injected->value : 0));
+  }
 }
 
 int cmd_simulate(const Args& args) {
@@ -271,9 +286,19 @@ int cmd_simulate(const Args& args) {
                std::to_string(restored) + "/" + std::to_string(broken)});
   }
   std::fputs(t.to_string().c_str(), stdout);
-  if (args.flag("metrics") || !args.str("trace-out").empty()) {
+  // --faults SEED runs the fleet stage under the demo fault schedule
+  // (faults::demo_plan) seeded from SEED: the quickest way to watch the
+  // degradation ladder fire outside the test suite.
+  if (args.flag("metrics") || !args.str("trace-out").empty() ||
+      args.flag("faults")) {
+    std::optional<faults::FaultPlan> plan;
+    if (args.flag("faults")) {
+      plan = faults::demo_plan(
+          static_cast<std::uint64_t>(args.number("faults", 1)));
+    }
     run_fleet_stage(classifier,
-                    static_cast<std::uint64_t>(args.number("seed", 1)));
+                    static_cast<std::uint64_t>(args.number("seed", 1)),
+                    plan ? &*plan : nullptr);
   }
   dump_telemetry(args);
   return 0;
@@ -290,7 +315,7 @@ void usage() {
                "  export-csv <ds>\n"
                "  simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] "
                "[--flow MS]\n"
-               "            [--metrics] [--trace-out FILE]\n");
+               "            [--metrics] [--trace-out FILE] [--faults SEED]\n");
 }
 
 }  // namespace
