@@ -361,6 +361,89 @@ BENCHMARK(BM_FleetWithFaults)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The sharded fleet engine at deployment scale. Args = {links, threads}
+// (threads 0 = hardware concurrency). Each iteration builds a fresh fleet
+// of `links` stations -- a 5-beam codebook and a small 4-wall room keep
+// the per-link association sweep cheap enough that the tick pipeline, not
+// world setup, dominates -- and runs it to completion; every 4th link gets
+// a blockage episode so the classifier actually serves batched rows.
+// World construction/teardown happens outside the timed region; the
+// `links_per_s` rate (link-frames served per second of run_fleet wall
+// time) is the number the CI gate tracks. The 100000-link grid point is
+// the CI entry; the 1000000-link point exists for local runs and is kept
+// out of the CI --benchmark_filter (it needs several GB of RAM, ~2.5 KB
+// of mt19937 state per link before worlds).
+void BM_FleetMillionLinks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto& f = Fixture::get();
+  static const array::Codebook* small_codebook = [] {
+    array::CodebookConfig cb;
+    cb.num_beams = 5;
+    return new array::Codebook(cb);
+  }();
+  static const env::Environment room = env::make_conference_room();
+
+  struct World {
+    std::vector<env::Environment> envs;
+    std::vector<array::PhasedArray> arrays;  // [2i] = AP, [2i+1] = client
+    std::vector<channel::Link> links;
+    std::vector<core::LibraController> controllers;
+    std::vector<sim::FleetLink> members;
+  };
+
+  std::int64_t frames = 0;
+  std::int64_t rows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    World w;
+    w.envs.reserve(n);
+    w.arrays.reserve(2 * n);
+    w.links.reserve(n);
+    w.controllers.reserve(n);
+    w.members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w.envs.push_back(room);  // own copy: scripts mutate blockers
+      w.arrays.emplace_back(geom::Vec2{1.0, 3.4}, 0.0, small_codebook);
+      w.arrays.emplace_back(geom::Vec2{6.0 + (i % 4) * 0.8, 2.0 + (i % 3)},
+                            180.0, small_codebook);
+      w.links.emplace_back(&w.envs[i], &w.arrays[2 * i],
+                           &w.arrays[2 * i + 1]);
+      w.controllers.emplace_back(&w.links[i], &f.em, &f.classifier);
+      sim::FleetLink member{&w.envs[i], &w.links[i], &w.controllers[i], {}};
+      member.script.duration_ms = 20.0;
+      member.script.rx_trajectory = sim::Trajectory::stationary(
+          w.arrays[2 * i + 1].position(), 180.0);
+      if (i % 4 == 0) {
+        member.script.blockage.push_back({5.0, 18.0, {{4.0, 2.8}, 0.3, 35.0}});
+      }
+      w.members.push_back(member);
+    }
+    sim::FleetConfig cfg;
+    cfg.seed = 99;
+    cfg.num_threads = threads;
+    state.ResumeTiming();
+    const sim::FleetResult result = sim::run_fleet(w.members, cfg);
+    frames += result.link_frames;
+    rows += result.batched_rows;
+    benchmark::DoNotOptimize(result.ticks);
+    state.PauseTiming();
+    w = World{};  // teardown of n worlds outside the timed region
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(frames);
+  state.counters["links"] = static_cast<double>(n);
+  state.counters["links_per_s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["batched_rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_FleetMillionLinks)
+    ->Args({100000, 0})
+    ->Args({1000000, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 // Telemetry overhead at a representative instrumentation site: one span,
 // one counter bump, one histogram observation per iteration. Arg(0) = the
 // runtime null-sink (set_enabled(false) early-out), Arg(1) = recording.

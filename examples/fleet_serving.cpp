@@ -6,12 +6,17 @@
 // multi-STA deployment the observe/decide/apply split exists for.
 //
 // Usage: fleet_serving [--trace-out FILE] [--faults SEED]
+//                      [--shards N] [--threads N]
 //   --trace-out FILE   write the run's trace spans as Chrome trace-event
 //                      JSON (open in Perfetto or chrome://tracing)
 //   --faults SEED      attach the demo fault schedule (faults::demo_plan
 //                      seeded from SEED): ACK loss bursts, garbage PHY,
 //                      a classifier outage window -- and watch the
 //                      degradation ladder fire in the telemetry scrape
+//   --shards N         shard count for the fleet engine (0 = one per
+//                      worker thread); results are bit-identical for any N
+//   --threads N        worker threads for shard ticks (1 = serial,
+//                      0 = hardware concurrency); also bit-identical
 #include <cstdio>
 #include <vector>
 
@@ -74,23 +79,29 @@ int main(int argc, char** argv) {
 
   sim::FleetConfig cfg;
   cfg.seed = 42;
+  cfg.shards = static_cast<int>(args.number("shards", 0));
+  cfg.num_threads = static_cast<int>(args.number("threads", 1));
   if (args.flag("faults")) {
     cfg.faults = faults::demo_plan(
         static_cast<std::uint64_t>(args.number("faults", 1)));
   }
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
 
-  std::printf("fleet of %d stations, %d lockstep ticks, %d feature rows "
-              "served in batches%s\n\n",
-              kStations, result.ticks, result.batched_rows,
+  std::printf("fleet of %d stations in %d shard(s), %lld lockstep ticks, "
+              "%lld feature rows served in batches%s\n\n",
+              kStations, result.shards_used,
+              static_cast<long long>(result.ticks),
+              static_cast<long long>(result.batched_rows),
               cfg.faults.empty() ? "" : " (demo fault schedule attached)");
   std::printf("%-8s %-10s %-8s %-6s %-6s %-8s %s\n", "station", "goodput",
               "bytes", "BA", "RA", "outages", "outage ms");
   for (int s = 0; s < kStations; ++s) {
     const sim::SessionResult& r = result.links[s];
-    std::printf("%-8d %-10.0f %-8.0f %-6d %-6d %-8d %.0f\n", s,
-                r.avg_goodput_mbps, r.bytes_mb, r.adaptations_ba,
-                r.adaptations_ra, r.outages, r.total_outage_ms);
+    std::printf("%-8d %-10.0f %-8.0f %-6lld %-6lld %-8lld %.0f\n", s,
+                r.avg_goodput_mbps, r.bytes_mb,
+                static_cast<long long>(r.adaptations_ba),
+                static_cast<long long>(r.adaptations_ra),
+                static_cast<long long>(r.outages), r.total_outage_ms);
   }
   std::printf("\ntick latency: mean %.1f us, p0 %.1f us, max %.1f us over "
               "%zu ticks\n",

@@ -55,10 +55,11 @@ int main() {
                 f.goodput_mbps);
   }
   std::printf(
-      "\nsession: %.0f MB in %.1f s (avg %.0f Mbps), %d BA + %d RA "
-      "adaptations, %d outages totaling %.0f ms\n",
+      "\nsession: %.0f MB in %.1f s (avg %.0f Mbps), %lld BA + %lld RA "
+      "adaptations, %lld outages totaling %.0f ms\n",
       result.bytes_mb, script.duration_ms / 1000.0, result.avg_goodput_mbps,
-      result.adaptations_ba, result.adaptations_ra, result.outages,
-      result.total_outage_ms);
+      static_cast<long long>(result.adaptations_ba),
+      static_cast<long long>(result.adaptations_ra),
+      static_cast<long long>(result.outages), result.total_outage_ms);
   return 0;
 }

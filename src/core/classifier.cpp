@@ -47,7 +47,11 @@ ml::Label LibraClassifier::to_label(trace::Action a) {
     case trace::Action::kRA: return 1;
     case trace::Action::kNA: return 2;
   }
-  return 0;
+  // Out-of-enum values (corrupted trace rows, casts from raw ints) must not
+  // silently train as label 0 == Beam Adaptation.
+  throw std::invalid_argument(
+      "LibraClassifier::to_label: out-of-enum trace::Action " +
+      std::to_string(static_cast<int>(a)));
 }
 
 trace::Action LibraClassifier::to_action(ml::Label l) {

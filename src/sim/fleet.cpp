@@ -1,20 +1,26 @@
 #include "sim/fleet.h"
 
-#include <optional>
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/span.h"
+#include "util/thread_pool.h"
 
 namespace libra::sim {
 
 namespace {
 // Fleet serving telemetry: per-phase latency and throughput counters. The
 // tick histogram is fed from the same StopWatch measurement that fills
-// FleetResult::tick_latency_us (one source of truth).
+// FleetResult::tick_latency_us (one source of truth). Phase histograms are
+// per-shard observations (shards tick concurrently), the tick histogram is
+// per fleet-wide lockstep round.
 struct FleetMetrics {
   obs::Counter& ticks;
   obs::Counter& batched_rows;
+  obs::Counter& link_frames;
   obs::Histogram& tick_latency_us;
   obs::Histogram& gather_us;
   obs::Histogram& decide_us;
@@ -24,12 +30,46 @@ FleetMetrics& fleet_metrics() {
   obs::Registry& r = obs::Registry::global();
   static FleetMetrics m{r.counter("fleet.ticks"),
                         r.counter("fleet.batched_rows"),
+                        r.counter("fleet.link_frames"),
                         r.histogram("fleet.tick_latency_us"),
                         r.histogram("fleet.gather_us"),
                         r.histogram("fleet.decide_us"),
                         r.histogram("fleet.scatter_us")};
   return m;
 }
+
+// Feature rows pending inference against one classifier, SoA: rows[m] is
+// jittered from *row_rngs[m] and its verdict lands in slot row_slot[m].
+// The arenas are cleared (capacity kept) every tick, so steady-state ticks
+// allocate nothing.
+struct Group {
+  const core::LibraClassifier* key = nullptr;
+  std::vector<trace::FeatureVector> rows;
+  std::vector<util::Rng*> row_rngs;
+  std::vector<std::size_t> row_slot;  // shard-local request slot per row
+};
+
+// One contiguous range of links [begin, end) stepped as a unit. All hot
+// per-tick state lives in flat arenas indexed by shard-local slot
+// (global link i <-> slot i - begin): request slots are plain
+// DecisionRequest values guarded by a has_request byte (no
+// std::optional churn -- slots are overwritten in place each tick), and
+// group_of gives amortized O(1) classifier -> row-arena lookup in gather
+// (the old loop rescanned the group list per request). Shards never share
+// mutable state, so shard ticks run concurrently without locks.
+struct Shard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool finished = false;  // every link done -- skip all later ticks
+  bool stepped = false;   // did any link transmit this tick
+  std::vector<core::DecisionRequest> requests;  // slot-indexed, flat
+  std::vector<unsigned char> has_request;
+  std::vector<trace::Action> verdicts;
+  std::vector<Group> groups;  // first-appearance order, persistent arenas
+  std::unordered_map<const core::LibraClassifier*, std::size_t> group_of;
+  std::int64_t batched_rows = 0;
+  std::int64_t link_frames = 0;
+};
 }  // namespace
 
 FleetResult run_fleet(std::span<const FleetLink> links,
@@ -40,11 +80,22 @@ FleetResult run_fleet(std::span<const FleetLink> links,
                                   std::to_string(i));
     }
   }
+  if (cfg.shards < 0) {
+    throw std::invalid_argument("run_fleet: shards must be >= 0, got " +
+                                std::to_string(cfg.shards));
+  }
+  if (cfg.num_threads < 0) {
+    throw std::invalid_argument("run_fleet: num_threads must be >= 0, got " +
+                                std::to_string(cfg.num_threads));
+  }
   cfg.faults.validate();
   FleetMetrics& metrics = fleet_metrics();
 
-  // Fork every link's stream up front, in link order: the fleet schedule
-  // can never perturb what an individual link draws.
+  // Fork every link's stream up front, in GLOBAL link order: neither the
+  // shard layout nor the thread schedule can perturb what an individual
+  // link draws. This line is the whole determinism proof -- everything
+  // after it only ever touches rngs[i] from link i's own gather / decide
+  // row / scatter, which live on exactly one shard.
   util::Rng fleet_rng(cfg.seed);
   std::vector<util::Rng> rngs;
   rngs.reserve(links.size());
@@ -52,11 +103,11 @@ FleetResult run_fleet(std::span<const FleetLink> links,
     rngs.push_back(fleet_rng.fork());
   }
 
-  // Fault streams are forked off the *fault* seed, again in link order --
-  // never off the simulation streams, so attaching a plan perturbs nothing
-  // but the faults it injects, and an empty plan attaches nothing at all.
-  // The guard detaches every injector on any exit path (controllers are
-  // non-owning and may outlive this call).
+  // Fault streams are forked off the *fault* seed, again in global link
+  // order -- never off the simulation streams, so attaching a plan perturbs
+  // nothing but the faults it injects, and an empty plan attaches nothing
+  // at all. The guard detaches every injector on any exit path
+  // (controllers are non-owning and may outlive this call).
   struct InjectorGuard {
     std::span<const FleetLink> links;
     std::vector<faults::FaultInjector> injectors;
@@ -81,82 +132,144 @@ FleetResult run_fleet(std::span<const FleetLink> links,
     drivers.emplace_back(*l.environment, *l.link, *l.controller, l.script,
                          cfg.keep_frame_logs);
   }
-  for (std::size_t i = 0; i < drivers.size(); ++i) {
-    drivers[i].start(rngs[i]);
+
+  // Resolve the shard/thread grid. One shard per worker by default; an
+  // explicit shard count decouples arena granularity from parallelism
+  // (and any combination is bit-identical, so it's purely a perf knob).
+  const int threads = util::ThreadPool::resolve(cfg.num_threads);
+  std::size_t num_shards =
+      cfg.shards == 0 ? static_cast<std::size_t>(std::max(threads, 1))
+                      : static_cast<std::size_t>(cfg.shards);
+  num_shards = std::min(num_shards, links.size());
+
+  std::vector<Shard> shards;
+  shards.reserve(num_shards);
+  if (num_shards > 0) {
+    const std::size_t base = links.size() / num_shards;
+    const std::size_t extra = links.size() % num_shards;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::size_t size = base + (s < extra ? 1 : 0);
+      Shard shard;
+      shard.begin = begin;
+      shard.end = begin + size;
+      shard.requests.resize(size);
+      shard.has_request.assign(size, 0);
+      shard.verdicts.assign(size, trace::Action::kNA);
+      shards.push_back(std::move(shard));
+      begin += size;
+    }
   }
 
+  // The pool is only spun up when it can actually overlap shard work.
+  // Forest inference inside a shard tick stays safe: classify_batch on a
+  // pool worker runs inline (ThreadPool::in_worker()), never nested-pooled.
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (threads > 1 && shards.size() > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(threads);
+  }
+  util::ThreadPool* pool = owned_pool.get();
+
+  // Initial association. start(rngs[i]) touches only link i's own state
+  // and stream, so per-shard parallel start is bit-identical to the
+  // serial loop.
+  util::parallel_for(pool, shards.size(), [&](std::size_t s) {
+    for (std::size_t i = shards[s].begin; i < shards[s].end; ++i) {
+      drivers[i].start(rngs[i]);
+    }
+  });
+
   FleetResult result;
-  std::vector<std::optional<core::DecisionRequest>> requests(links.size());
-  std::vector<trace::Action> verdicts(links.size(), trace::Action::kNA);
-  // Inference rows grouped by classifier, first-appearance order (one
-  // classify_batch call per distinct classifier per tick).
-  std::vector<const core::LibraClassifier*> group_keys;
-  std::vector<std::vector<std::size_t>> group_rows;
+  result.shards_used = static_cast<int>(num_shards);
 
-  bool any_active = true;
-  while (any_active) {
-    const obs::StopWatch tick_watch;
-    OBS_SPAN("fleet.tick");
-    any_active = false;
+  // One shard's full gather -> decide -> scatter tick. Under the pool,
+  // shard k can be deep in its decide (batched inference) while shard k+1
+  // is still gathering (environment stepping): the request/row arenas are
+  // the double buffer -- filled by gather, drained by decide/scatter --
+  // and nothing below synchronizes until the tick boundary.
+  auto tick_shard = [&](Shard& shard) {
+    shard.stepped = false;
 
-    // Gather: every active link transmits one frame.
+    // Gather: every active link transmits one frame; rows needing
+    // inference are appended to their classifier's contiguous arena.
     {
       OBS_SPAN("fleet.gather", &metrics.gather_us);
-      group_keys.clear();
-      group_rows.clear();
-      for (std::size_t i = 0; i < drivers.size(); ++i) {
+      for (Group& group : shard.groups) {
+        group.rows.clear();
+        group.row_rngs.clear();
+        group.row_slot.clear();
+      }
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        const std::size_t slot = i - shard.begin;
         if (drivers[i].done()) {
-          requests[i].reset();
+          shard.has_request[slot] = 0;
           continue;
         }
-        requests[i] = drivers[i].observe(rngs[i]);
-        const core::DecisionRequest& req = *requests[i];
+        shard.requests[slot] = drivers[i].observe(rngs[i]);
+        shard.has_request[slot] = 1;
+        const core::DecisionRequest& req = shard.requests[slot];
         if (req.needs_inference()) {
-          std::size_t g = 0;
-          while (g < group_keys.size() && group_keys[g] != req.classifier) ++g;
-          if (g == group_keys.size()) {
-            group_keys.push_back(req.classifier);
-            group_rows.emplace_back();
+          const auto [it, inserted] =
+              shard.group_of.try_emplace(req.classifier, shard.groups.size());
+          if (inserted) {
+            shard.groups.emplace_back();
+            shard.groups.back().key = req.classifier;
           }
-          group_rows[g].push_back(i);
+          Group& group = shard.groups[it->second];
+          group.rows.push_back(req.features);
+          group.row_rngs.push_back(&rngs[i]);
+          group.row_slot.push_back(slot);
         } else {
-          verdicts[i] = req.resolved_without_inference();
+          shard.verdicts[slot] = req.resolved_without_inference();
         }
       }
     }
 
-    // Decide: one batched inference per classifier; row order is link
-    // order, each row jittered from its own link's stream.
+    // Decide: one batched inference per classifier with pending rows;
+    // row order is link order, each row jittered from its own stream.
     {
       OBS_SPAN("fleet.decide", &metrics.decide_us);
-      for (std::size_t g = 0; g < group_keys.size(); ++g) {
-        const std::vector<std::size_t>& members = group_rows[g];
-        std::vector<trace::FeatureVector> rows;
-        std::vector<util::Rng*> row_rngs;
-        rows.reserve(members.size());
-        row_rngs.reserve(members.size());
-        for (const std::size_t i : members) {
-          rows.push_back(requests[i]->features);
-          row_rngs.push_back(&rngs[i]);
-        }
+      for (Group& group : shard.groups) {
+        if (group.rows.empty()) continue;
         const std::vector<trace::Action> batch =
-            group_keys[g]->classify_batch(rows, row_rngs);
-        for (std::size_t m = 0; m < members.size(); ++m) {
-          verdicts[members[m]] = batch[m];
+            group.key->classify_batch(group.rows, group.row_rngs);
+        for (std::size_t m = 0; m < batch.size(); ++m) {
+          shard.verdicts[group.row_slot[m]] = batch[m];
         }
-        result.batched_rows += static_cast<int>(members.size());
-        metrics.batched_rows.inc(members.size());
+        shard.batched_rows += static_cast<std::int64_t>(group.rows.size());
+        metrics.batched_rows.inc(group.rows.size());
       }
     }
 
     // Scatter: act on the verdicts and account the frames.
     {
       OBS_SPAN("fleet.scatter", &metrics.scatter_us);
-      for (std::size_t i = 0; i < drivers.size(); ++i) {
-        if (!requests[i].has_value()) continue;
-        drivers[i].apply(verdicts[i], *requests[i], rngs[i]);
-        any_active = true;
+      std::size_t applied = 0;
+      for (std::size_t slot = 0; slot < shard.requests.size(); ++slot) {
+        if (!shard.has_request[slot]) continue;
+        const std::size_t i = shard.begin + slot;
+        drivers[i].apply(shard.verdicts[slot], shard.requests[slot], rngs[i]);
+        ++applied;
       }
+      if (applied > 0) {
+        shard.stepped = true;
+        shard.link_frames += static_cast<std::int64_t>(applied);
+        metrics.link_frames.inc(applied);
+      }
+    }
+    if (!shard.stepped) shard.finished = true;
+  };
+
+  bool any_active = !shards.empty();
+  while (any_active) {
+    const obs::StopWatch tick_watch;
+    OBS_SPAN("fleet.tick");
+    util::parallel_for(pool, shards.size(), [&](std::size_t s) {
+      if (!shards[s].finished) tick_shard(shards[s]);
+    });
+    any_active = false;
+    for (const Shard& shard : shards) {
+      if (shard.stepped) any_active = true;
     }
     if (any_active) {
       ++result.ticks;
@@ -167,6 +280,10 @@ FleetResult run_fleet(std::span<const FleetLink> links,
     }
   }
 
+  for (const Shard& shard : shards) {
+    result.batched_rows += shard.batched_rows;
+    result.link_frames += shard.link_frames;
+  }
   result.links.reserve(drivers.size());
   for (SessionDriver& driver : drivers) {
     result.links.push_back(driver.finish());

@@ -1,26 +1,40 @@
-// Fleet serving: one AP-side decision engine stepping many links in
-// lockstep (the multi-STA deployment of Algorithm 1 -- dozens of associated
-// stations adapting against one shared classifier every beacon interval).
+// Fleet serving: one AP-side decision engine stepping many links per tick
+// (the multi-STA deployment of Algorithm 1 -- from dozens of associated
+// stations up to the 10^5-10^6 links of a dense multi-gigabit deployment,
+// all adapting against shared classifiers every beacon interval).
 //
-// Each tick runs the three-phase pipeline across the whole fleet:
+// The fleet is partitioned into contiguous *shards*. Each shard keeps its
+// per-link hot state in structure-of-arrays arenas (decision-request slots,
+// verdicts, and per-classifier feature-row arenas -- the same contiguous
+// layout trick that made ml::CompiledForest 2.4-3.9x over the pointer
+// walk), and each tick runs the three-phase pipeline shard by shard:
 //
 //   gather   every active link transmits one frame (SessionDriver::observe)
-//            and emits its DecisionRequest;
-//   decide   requests needing classifier inference are grouped by
-//            classifier and resolved through one classify_batch call per
-//            group -- N links' feature rows ride one pooled forest pass
-//            instead of N independent tree walks;
+//            and its DecisionRequest lands in the shard's request arena;
+//            rows needing inference are appended to that classifier's
+//            contiguous row arena (amortized O(1) group lookup);
+//   decide   one classify_batch call per classifier with pending rows --
+//            a shard's feature rows ride one pooled forest pass;
 //   scatter  verdicts flow back through apply(), which runs BA / the RA
 //            walk / upward probing and accounts the frame per link.
 //
+// With num_threads > 1 the shard ticks are dispatched onto a
+// util::ThreadPool, so batched inference for shard k overlaps environment
+// stepping for shard k+1: each shard's request/row arenas are filled by its
+// gather and drained by its decide/scatter with no fleet-wide barrier
+// between the phases -- only the tick boundary synchronizes.
+//
 // Determinism contract (same discipline as the PR 1 thread-pool work): link
-// i draws only from its own stream, forked off the fleet seed in link order
-// before any stepping, and classify_batch jitters rows serially in link
-// order from those same streams. A fleet run is therefore bit-identical,
-// link for link, to N independent run_session() calls fed the same forked
-// streams -- regardless of forest thread count.
+// i draws only from its own stream, forked off the fleet seed in global
+// link order before any stepping, and classify_batch jitters rows serially
+// in link order from those same streams. Shard boundaries and the thread
+// schedule therefore never touch the randomness: a fleet run is
+// bit-identical, link for link, to N independent run_session() calls fed
+// the same forked streams -- for ANY (shards, num_threads, forest thread
+// count) combination. tests/fleet_test.cpp proves this end to end.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "faults/faults.h"
@@ -44,22 +58,39 @@ struct FleetConfig {
   // gets the (i+1)-th fork() of Rng(seed).
   std::uint64_t seed = 1;
   bool keep_frame_logs = false;
+  // Shard count: links are split into this many contiguous ranges, each
+  // stepped as one unit with its own SoA arenas. 0 = one shard per worker
+  // thread (minimum 1); clamped to the link count. Results are
+  // bit-identical for any value (determinism contract above).
+  int shards = 0;
+  // Worker threads for the shard ticks: 1 = the serial legacy loop
+  // (default), 0 = hardware_concurrency(), N > 1 = pool of N. Results are
+  // bit-identical for any value. Throws std::invalid_argument on negative
+  // shards/num_threads.
+  int num_threads = 1;
   // Deterministic fault schedule (faults/faults.h). Every link gets its own
   // fault stream, forked off Rng(faults.seed) in link order -- disjoint
   // from the simulation streams above, so an empty plan (the default) is
   // bit-identical to a run with no fault machinery at all, and a faulted
-  // run replays bit-for-bit from (seed, faults.seed) at any forest thread
+  // run replays bit-for-bit from (seed, faults.seed) at any shard/thread
   // count. Validated up front; throws std::invalid_argument on a bad plan.
   faults::FaultPlan faults{};
 };
 
 struct FleetResult {
   std::vector<SessionResult> links;  // per-link, in FleetLink order
-  int ticks = 0;          // lockstep rounds until every link finished
-  int batched_rows = 0;   // feature rows served through classify_batch
-  // Wall-clock per lockstep tick (gather + batched decide + scatter). The
-  // same per-tick measurement also feeds the "fleet.tick_latency_us"
-  // histogram, so this and the scrape report from one clock-read pair.
+  // Accounting fields are 64-bit: a 10^5-link fleet pushes ~2.1e9 batched
+  // rows (int32 overflow) within minutes, and a 10^6-link run overflows
+  // every int32 counter below well before it finishes.
+  std::int64_t ticks = 0;         // lockstep rounds until every link finished
+  std::int64_t batched_rows = 0;  // feature rows served through classify_batch
+  std::int64_t link_frames = 0;   // frames transmitted across all links --
+                                  // the links/s numerator for fleet benches
+  int shards_used = 0;            // shard count after resolution/clamping
+  // Wall-clock per lockstep tick (all shards' gather + batched decide +
+  // scatter). The same per-tick measurement also feeds the
+  // "fleet.tick_latency_us" histogram, so this and the scrape report from
+  // one clock-read pair.
   util::RunningStats tick_latency_us;
   // Scrape of the global obs registry taken as the run finishes (counts
   // are process-cumulative, like any scrape endpoint). All-zero when
@@ -67,9 +98,11 @@ struct FleetResult {
   obs::MetricsSnapshot metrics;
 };
 
-// Step every link in lockstep until all scripts complete. Links whose
-// sessions end early (shorter scripts) simply sit out later ticks. Throws
-// std::invalid_argument on null members or an invalid script.
+// Step every link in lockstep ticks until all scripts complete. Links whose
+// sessions end early (shorter scripts) simply sit out later ticks; shards
+// whose links have all finished are skipped entirely. Throws
+// std::invalid_argument on null members, an invalid script, or a negative
+// shards/num_threads.
 FleetResult run_fleet(std::span<const FleetLink> links,
                       const FleetConfig& cfg = {});
 

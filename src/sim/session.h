@@ -8,6 +8,7 @@
 // framework targets.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -81,13 +82,16 @@ struct SessionScript {
 struct SessionResult {
   double bytes_mb = 0.0;
   double avg_goodput_mbps = 0.0;
-  int frames = 0;
-  int adaptations_ba = 0;
-  int adaptations_ra = 0;
+  // Counters are 64-bit: fleet-scale aggregation (10^5-10^6 links, see
+  // sim/fleet.h) sums these across links, and int32 totals overflow within
+  // minutes at that scale.
+  std::int64_t frames = 0;
+  std::int64_t adaptations_ba = 0;
+  std::int64_t adaptations_ra = 0;
   // Outage accounting: spans of at least three consecutive frames with
   // goodput below the working threshold (single dead frames are ordinary
   // loss, not outages).
-  int outages = 0;
+  std::int64_t outages = 0;
   double total_outage_ms = 0.0;
   std::vector<core::FrameReport> frame_log;  // filled when requested
 };

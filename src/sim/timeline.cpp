@@ -1,6 +1,7 @@
 #include "sim/timeline.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "core/rate_adaptation.h"
 
@@ -36,9 +37,17 @@ RecordPools RecordPools::from_dataset(const trace::Dataset& ds) {
 
 namespace {
 
+// Guard before touching the rng: uniform_int(0, -1) on an empty pool would
+// be undefined, and the caller deserves to know WHICH pool the dataset was
+// missing (a blockage-only dataset fails kMixed only when the segment draw
+// happens to pick another impairment -- name the gap explicitly).
 const trace::CaseRecord* draw(const std::vector<const trace::CaseRecord*>& pool,
-                              util::Rng& rng) {
-  if (pool.empty()) throw std::invalid_argument("empty record pool");
+                              const char* pool_name, util::Rng& rng) {
+  if (pool.empty()) {
+    throw std::invalid_argument(std::string("make_timeline: empty ") +
+                                pool_name +
+                                " record pool (dataset has no such cases)");
+  }
   return pool[static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<int>(pool.size()) - 1))];
 }
@@ -49,6 +58,14 @@ std::vector<TimelineSegment> make_timeline(ScenarioType type,
                                            const RecordPools& pools,
                                            const TimelineConfig& cfg,
                                            util::Rng& rng) {
+  if (cfg.segments < 0) {
+    throw std::invalid_argument("make_timeline: segments must be >= 0, got " +
+                                std::to_string(cfg.segments));
+  }
+  if (!(cfg.min_segment_ms > 0.0) || cfg.max_segment_ms < cfg.min_segment_ms) {
+    throw std::invalid_argument(
+        "make_timeline: need 0 < min_segment_ms <= max_segment_ms");
+  }
   std::vector<TimelineSegment> timeline;
   timeline.reserve(static_cast<std::size_t>(cfg.segments));
   const trace::CaseRecord* last = nullptr;
@@ -64,7 +81,7 @@ std::vector<TimelineSegment> make_timeline(ScenarioType type,
     }
     switch (effective) {
       case ScenarioType::kMotion:
-        seg.record = draw(pools.displacement, rng);
+        seg.record = draw(pools.displacement, "displacement", rng);
         seg.impaired = true;
         break;
       case ScenarioType::kBlockage:
@@ -74,11 +91,11 @@ std::vector<TimelineSegment> make_timeline(ScenarioType type,
         if (clear) {
           seg.record = last;
           seg.impaired = false;
+        } else if (effective == ScenarioType::kBlockage) {
+          seg.record = draw(pools.blockage, "blockage", rng);
+          seg.impaired = true;
         } else {
-          seg.record = draw(effective == ScenarioType::kBlockage
-                                ? pools.blockage
-                                : pools.interference,
-                            rng);
+          seg.record = draw(pools.interference, "interference", rng);
           seg.impaired = true;
         }
         break;

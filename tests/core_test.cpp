@@ -332,6 +332,15 @@ TEST(LibraClassifier, LabelRoundTrip) {
   }
 }
 
+// An out-of-enum Action (a corrupted trace row, a cast from a raw int) must
+// throw, not silently train as label 0 == Beam Adaptation.
+TEST(LibraClassifier, OutOfEnumActionThrows) {
+  EXPECT_THROW(LibraClassifier::to_label(static_cast<trace::Action>(42)),
+               std::invalid_argument);
+  EXPECT_THROW(LibraClassifier::to_label(static_cast<trace::Action>(-1)),
+               std::invalid_argument);
+}
+
 // ---------- strategies ----------
 
 TEST(Strategy, Names) {

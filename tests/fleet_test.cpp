@@ -3,9 +3,13 @@
 // bit for bit, for any forest thread count.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/controller.h"
@@ -13,6 +17,7 @@
 #include "json_mini.h"
 #include "obs/span.h"
 #include "sim/fleet.h"
+#include "sim/golden.h"
 #include "test_helpers.h"
 
 namespace libra {
@@ -186,7 +191,8 @@ TEST(Fleet, BitIdenticalToIndependentSessions) {
 // Per-link results from one fleet run, flattened for comparison.
 std::vector<sim::SessionResult> run_build_stations_fleet(
     const array::Codebook* codebook, std::uint64_t seed,
-    const core::LibraClassifier* clf = &fleet_classifier()) {
+    const core::LibraClassifier* clf = &fleet_classifier(), int shards = 0,
+    int num_threads = 1) {
   auto stations = build_stations(codebook, clf);
   std::vector<sim::FleetLink> members;
   for (auto& s : stations) {
@@ -195,7 +201,91 @@ std::vector<sim::SessionResult> run_build_stations_fleet(
   sim::FleetConfig cfg;
   cfg.seed = seed;
   cfg.keep_frame_logs = true;
+  cfg.shards = shards;
+  cfg.num_threads = num_threads;
   return sim::run_fleet(members, cfg).links;
+}
+
+// Full bit-identity check between two per-link result sets, frame logs
+// included (every float compared with ==, the determinism contract).
+void expect_links_identical(const std::vector<sim::SessionResult>& a,
+                            const std::vector<sim::SessionResult>& b,
+                            const std::string& tag) {
+  ASSERT_EQ(a.size(), b.size()) << tag;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frames, b[i].frames) << tag << " link " << i;
+    EXPECT_EQ(a[i].bytes_mb, b[i].bytes_mb) << tag << " link " << i;
+    EXPECT_EQ(a[i].avg_goodput_mbps, b[i].avg_goodput_mbps)
+        << tag << " link " << i;
+    EXPECT_EQ(a[i].adaptations_ba, b[i].adaptations_ba)
+        << tag << " link " << i;
+    EXPECT_EQ(a[i].adaptations_ra, b[i].adaptations_ra)
+        << tag << " link " << i;
+    EXPECT_EQ(a[i].outages, b[i].outages) << tag << " link " << i;
+    EXPECT_EQ(a[i].total_outage_ms, b[i].total_outage_ms)
+        << tag << " link " << i;
+    ASSERT_EQ(a[i].frame_log.size(), b[i].frame_log.size())
+        << tag << " link " << i;
+    for (std::size_t f = 0; f < a[i].frame_log.size(); ++f) {
+      const core::FrameReport& x = a[i].frame_log[f];
+      const core::FrameReport& y = b[i].frame_log[f];
+      ASSERT_EQ(x.t_ms, y.t_ms) << tag << " link " << i << " frame " << f;
+      ASSERT_EQ(x.mcs, y.mcs) << tag << " link " << i << " frame " << f;
+      ASSERT_EQ(x.goodput_mbps, y.goodput_mbps)
+          << tag << " link " << i << " frame " << f;
+      ASSERT_EQ(x.ack, y.ack) << tag << " link " << i << " frame " << f;
+      ASSERT_EQ(x.action, y.action) << tag << " link " << i << " frame " << f;
+    }
+  }
+}
+
+// The sharding contract on the mixed 4-station fleet: ANY (shards,
+// num_threads) combination -- serial multi-shard, threaded, more shards
+// than links -- must reproduce the legacy single-shard serial run bit for
+// bit.
+TEST(Fleet, ShardThreadGridBitIdentical) {
+  const array::Codebook codebook;
+  const std::vector<sim::SessionResult> baseline =
+      run_build_stations_fleet(&codebook, 77, &fleet_classifier(),
+                               /*shards=*/1, /*num_threads=*/1);
+  constexpr struct {
+    int shards;
+    int threads;
+  } kGrid[] = {{2, 1}, {3, 1}, {4, 1}, {0, 4}, {2, 4}, {4, 2}, {9, 3}};
+  for (const auto& g : kGrid) {
+    const std::vector<sim::SessionResult> run = run_build_stations_fleet(
+        &codebook, 77, &fleet_classifier(), g.shards, g.threads);
+    expect_links_identical(baseline, run,
+                           "shards=" + std::to_string(g.shards) +
+                               " threads=" + std::to_string(g.threads));
+  }
+}
+
+TEST(Fleet, ShardsClampedToLinkCountAndReported) {
+  const array::Codebook codebook;
+  auto stations = build_stations(&codebook);
+  std::vector<sim::FleetLink> members;
+  for (auto& s : stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  sim::FleetConfig cfg;
+  cfg.seed = 77;
+  cfg.shards = 64;  // more shards than links
+  EXPECT_EQ(sim::run_fleet(members, cfg).shards_used, 4);
+}
+
+TEST(Fleet, NegativeShardOrThreadCountThrows) {
+  const array::Codebook codebook;
+  Station station(&codebook, {10, 6}, nullptr);
+  std::vector<sim::FleetLink> members;
+  members.push_back({&station.env, &station.link, station.controller.get(),
+                     station.script});
+  sim::FleetConfig bad_shards;
+  bad_shards.shards = -1;
+  EXPECT_THROW(sim::run_fleet(members, bad_shards), std::invalid_argument);
+  sim::FleetConfig bad_threads;
+  bad_threads.num_threads = -2;
+  EXPECT_THROW(sim::run_fleet(members, bad_threads), std::invalid_argument);
 }
 
 // Telemetry is observation-only: disabling it at runtime must leave every
@@ -347,6 +437,154 @@ TEST(Fleet, ResultCarriesMetricsSnapshot) {
 }
 
 #endif  // LIBRA_OBS_ENABLED
+
+// A ~1k-link mixed-impairment fleet over a small codebook (5 beams keeps
+// the per-link association sweep cheap enough to run a thousand of them in
+// a unit test). Stations cycle through stationary / walker / blockage /
+// interference worlds, a third run the RA-first baseline (two classifier
+// groups per shard), and every 7th finishes early.
+sim::FleetResult run_scale_fleet(const array::Codebook* codebook, int n,
+                                 std::uint64_t seed, int shards,
+                                 int num_threads) {
+  std::vector<std::unique_ptr<Station>> stations;
+  stations.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const geom::Vec2 pos{8.0 + (i % 11), 3.0 + (i % 5)};
+    const core::LibraClassifier* clf =
+        (i % 3 == 2) ? nullptr : &fleet_classifier();
+    stations.push_back(std::make_unique<Station>(codebook, pos, clf));
+    Station& s = *stations.back();
+    s.script.duration_ms = (i % 7 == 6) ? 30.0 : 60.0;  // early finishers
+    s.script.rx_trajectory = sim::Trajectory::stationary(pos, 180.0);
+    switch (i % 4) {
+      case 1:
+        s.script.rx_trajectory = sim::Trajectory::walk(
+            pos, {pos.x + 3.0, pos.y + 1.0}, s.script.duration_ms,
+            geom::Vec2{2, 6});
+        break;
+      case 2:
+        s.script.blockage.push_back({15.0, 45.0, {{6, 6}, 0.3, 35.0}});
+        break;
+      case 3:
+        s.script.interference.push_back(
+            {10.0, 40.0, {{pos.x + 2.0, 1.0}, 50.0, 0.5}});
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<sim::FleetLink> members;
+  members.reserve(stations.size());
+  for (auto& s : stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  sim::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.keep_frame_logs = true;
+  cfg.shards = shards;
+  cfg.num_threads = num_threads;
+  return sim::run_fleet(members, cfg);
+}
+
+// Fleet-scale shard/thread invariance: the 1k-link run must produce
+// bit-identical SessionResults AND the same frame-log digest at every
+// point of the shard/thread grid.
+TEST(Fleet, ThousandLinkShardThreadInvariant) {
+  array::CodebookConfig cb;
+  cb.num_beams = 5;
+  const array::Codebook codebook(cb);
+  constexpr int kLinks = 1000;
+
+  const sim::FleetResult baseline =
+      run_scale_fleet(&codebook, kLinks, 123, /*shards=*/1,
+                      /*num_threads=*/1);
+  ASSERT_EQ(baseline.links.size(), static_cast<std::size_t>(kLinks));
+  EXPECT_EQ(baseline.shards_used, 1);
+  EXPECT_GT(baseline.ticks, 0);
+  EXPECT_GT(baseline.batched_rows, 0);  // classifier groups actually batched
+  EXPECT_GT(baseline.link_frames, static_cast<std::int64_t>(kLinks));
+  const std::uint64_t digest = sim::degradation_digest(baseline);
+
+  constexpr struct {
+    int shards;
+    int threads;
+  } kGrid[] = {{8, 1}, {0, 4}, {16, 4}};
+  for (const auto& g : kGrid) {
+    const sim::FleetResult run =
+        run_scale_fleet(&codebook, kLinks, 123, g.shards, g.threads);
+    const std::string tag = "shards=" + std::to_string(g.shards) +
+                            " threads=" + std::to_string(g.threads);
+    EXPECT_GT(run.shards_used, 1) << tag;
+    EXPECT_EQ(sim::degradation_digest(run), digest) << tag;
+    EXPECT_EQ(run.ticks, baseline.ticks) << tag;
+    EXPECT_EQ(run.batched_rows, baseline.batched_rows) << tag;
+    EXPECT_EQ(run.link_frames, baseline.link_frames) << tag;
+    expect_links_identical(baseline.links, run.links, tag);
+  }
+}
+
+// Faulted sharded replay: with a fault plan attached, a run is a pure
+// function of (seed, fault seed) -- re-running at a different shard/thread
+// count, or simply re-running, replays bit for bit.
+TEST(Fleet, FaultedShardedRunReplaysBitForBit) {
+  const array::Codebook codebook;
+  const auto run = [&](int shards, int threads) {
+    auto stations = build_stations(&codebook);
+    std::vector<sim::FleetLink> members;
+    for (auto& s : stations) {
+      members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+    }
+    sim::FleetConfig cfg;
+    cfg.seed = 77;
+    cfg.keep_frame_logs = true;
+    cfg.shards = shards;
+    cfg.num_threads = threads;
+    cfg.faults = faults::demo_plan(1234);
+    return sim::run_fleet(members, cfg);
+  };
+  const sim::FleetResult serial = run(1, 1);
+  const sim::FleetResult sharded = run(3, 4);
+  const sim::FleetResult replay = run(3, 4);
+  const std::uint64_t digest = sim::degradation_digest(serial);
+  EXPECT_EQ(sim::degradation_digest(sharded), digest);
+  EXPECT_EQ(sim::degradation_digest(replay), digest);
+  expect_links_identical(serial.links, sharded.links, "faulted sharded");
+  expect_links_identical(sharded.links, replay.links, "faulted replay");
+}
+
+// The counter-overflow regression: every accounting field that aggregates
+// across a 10^5-10^6-link fleet must be 64-bit, and accumulating past
+// INT32_MAX through the actual result fields must not wrap.
+TEST(Fleet, AccountingFieldsAreInt64) {
+  static_assert(
+      std::is_same_v<decltype(sim::FleetResult::ticks), std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(sim::FleetResult::batched_rows), std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(sim::FleetResult::link_frames), std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(sim::SessionResult::frames), std::int64_t>);
+  static_assert(std::is_same_v<decltype(sim::SessionResult::adaptations_ba),
+                               std::int64_t>);
+  static_assert(std::is_same_v<decltype(sim::SessionResult::adaptations_ra),
+                               std::int64_t>);
+  static_assert(
+      std::is_same_v<decltype(sim::SessionResult::outages), std::int64_t>);
+
+  // The engine's accumulation pattern: per-group row counts (size_t)
+  // summed into the result, 30 batches of 1e8 rows -- minutes of a
+  // 10^5-link run -- lands at 3e9, past any int32.
+  sim::FleetResult result;
+  const std::size_t group_rows = 100'000'000;
+  for (int i = 0; i < 30; ++i) {
+    result.batched_rows += static_cast<std::int64_t>(group_rows);
+    result.link_frames += static_cast<std::int64_t>(group_rows);
+  }
+  EXPECT_EQ(result.batched_rows, 3'000'000'000LL);
+  EXPECT_GT(result.batched_rows,
+            static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max()));
+  EXPECT_EQ(result.link_frames, 3'000'000'000LL);
+}
 
 TEST(Fleet, EmptyFleetFinishesImmediately) {
   const sim::FleetResult result = sim::run_fleet({}, {});

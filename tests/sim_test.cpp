@@ -383,6 +383,62 @@ TEST(Timeline, EmptyPoolThrows) {
                std::invalid_argument);
 }
 
+// The empty-pool guard must fire for EVERY pool a scenario can draw from
+// (not just displacement) and must name the missing pool -- a
+// blockage-only dataset failing a Mixed timeline is otherwise a puzzle.
+TEST(Timeline, EmptyPoolThrowsPerScenarioAndNamesPool) {
+  const trace::Dataset ds = pool_dataset();
+  const RecordPools full = RecordPools::from_dataset(ds);
+
+  RecordPools no_blockage = full;
+  no_blockage.blockage.clear();
+  util::Rng rng(4);
+  EXPECT_THROW(make_timeline(ScenarioType::kBlockage, no_blockage, {}, rng),
+               std::invalid_argument);
+  try {
+    make_timeline(ScenarioType::kBlockage, no_blockage, {}, rng);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("blockage"), std::string::npos)
+        << e.what();
+  }
+
+  RecordPools no_interference = full;
+  no_interference.interference.clear();
+  EXPECT_THROW(
+      make_timeline(ScenarioType::kInterference, no_interference, {}, rng),
+      std::invalid_argument);
+
+  // Mixed draws from all three pools, so any single empty pool eventually
+  // trips the guard (20 segments make a miss astronomically unlikely).
+  RecordPools no_displacement = full;
+  no_displacement.displacement.clear();
+  TimelineConfig many;
+  many.segments = 20;
+  EXPECT_THROW(
+      make_timeline(ScenarioType::kMixed, no_displacement, many, rng),
+      std::invalid_argument);
+}
+
+TEST(Timeline, InvalidConfigThrows) {
+  const trace::Dataset ds = pool_dataset();
+  const RecordPools pools = RecordPools::from_dataset(ds);
+  util::Rng rng(4);
+  TimelineConfig negative;
+  negative.segments = -1;
+  EXPECT_THROW(make_timeline(ScenarioType::kMotion, pools, negative, rng),
+               std::invalid_argument);
+  TimelineConfig inverted;
+  inverted.min_segment_ms = 500.0;
+  inverted.max_segment_ms = 100.0;
+  EXPECT_THROW(make_timeline(ScenarioType::kMotion, pools, inverted, rng),
+               std::invalid_argument);
+  TimelineConfig zero_min;
+  zero_min.min_segment_ms = 0.0;
+  EXPECT_THROW(make_timeline(ScenarioType::kMotion, pools, zero_min, rng),
+               std::invalid_argument);
+}
+
 TEST(Timeline, RunAccumulatesBytesAndBreaks) {
   const trace::Dataset ds = pool_dataset();
   const RecordPools pools = RecordPools::from_dataset(ds);

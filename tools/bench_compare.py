@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and fail on real_time regressions.
+"""Compare two google-benchmark JSON files and fail on regressions.
 
 CI's performance-regression gate: the release job runs the serving-path
-micro benches (BM_FleetClassifyBatch, BM_CompiledForestBatch), then compares
-the fresh JSON against the checked-in BENCH_baseline.json. Any selected
-benchmark whose real_time grew by more than --threshold (default 25%)
-fails the job; a benchmark present in the baseline but missing from the
-current run also fails (deleting a bench must be an explicit baseline
-refresh, not a silent gap).
+micro benches (BM_FleetClassifyBatch, BM_CompiledForestBatch,
+BM_FleetMillionLinks), then compares the fresh JSON against the checked-in
+BENCH_baseline.json. Any selected benchmark whose real_time grew by more
+than --threshold (default 25%) fails the job, as does any benchmark whose
+links_per_s rate counter (the sharded fleet engine's throughput metric)
+DROPPED by more than the same threshold; a benchmark present in the
+baseline but missing from the current run also fails (deleting a bench
+must be an explicit baseline refresh, not a silent gap).
 
 Usage:
   tools/bench_compare.py BENCH_baseline.json fleet_bench.json \
@@ -29,7 +31,8 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_benchmarks(path):
-    """Return {name: real_time_ns} for every non-aggregate benchmark."""
+    """Return {name: {"real_time_ns": float, "links_per_s": float | None}}
+    for every non-aggregate benchmark."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out = {}
@@ -44,7 +47,12 @@ def load_benchmarks(path):
         unit = _UNIT_NS.get(bench.get("time_unit", "ns"))
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit for {name!r}")
-        out[name] = float(real_time) * unit
+        links_per_s = bench.get("links_per_s")
+        out[name] = {
+            "real_time_ns": float(real_time) * unit,
+            "links_per_s": (float(links_per_s)
+                            if links_per_s is not None else None),
+        }
     return out
 
 
@@ -55,30 +63,49 @@ def fmt_ns(ns):
     return f"{ns:.1f} ns"
 
 
+def fmt_rate(rate):
+    if rate is None:
+        return "—"
+    for unit, scale in (("M", 1e6), ("k", 1e3)):
+        if rate >= scale:
+            return f"{rate / scale:.2f}{unit}/s"
+    return f"{rate:.1f}/s"
+
+
 def compare(baseline, current, pattern, threshold):
     """Return (rows, regressions, missing) over baseline names matching
-    pattern; rows are (name, base_ns, cur_ns, ratio, status)."""
+    pattern; rows are (name, base, cur, ratio, rate_ratio, status) where
+    base/cur are the loaded benchmark dicts (cur None when missing).
+    real_time regresses when it GROWS past the threshold; links_per_s
+    regresses when it DROPS past it."""
     rows = []
     regressions = []
     missing = []
     for name in sorted(baseline):
         if not pattern.search(name):
             continue
-        base_ns = baseline[name]
+        base = baseline[name]
         if name not in current:
             missing.append(name)
-            rows.append((name, base_ns, None, None, "MISSING"))
+            rows.append((name, base, None, None, None, "MISSING"))
             continue
-        cur_ns = current[name]
-        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-        if ratio > 1.0 + threshold:
+        cur = current[name]
+        base_ns = base["real_time_ns"]
+        ratio = cur["real_time_ns"] / base_ns if base_ns > 0 else float("inf")
+        rate_ratio = None
+        if base["links_per_s"] and cur["links_per_s"] is not None:
+            rate_ratio = cur["links_per_s"] / base["links_per_s"]
+        time_regressed = ratio > 1.0 + threshold
+        rate_regressed = rate_ratio is not None and rate_ratio < 1.0 - threshold
+        if time_regressed or rate_regressed:
             status = "REGRESSION"
             regressions.append(name)
-        elif ratio < 1.0 - threshold:
+        elif ratio < 1.0 - threshold or (rate_ratio is not None
+                                         and rate_ratio > 1.0 + threshold):
             status = "improved"
         else:
             status = "ok"
-        rows.append((name, base_ns, cur_ns, ratio, status))
+        rows.append((name, base, cur, ratio, rate_ratio, status))
     return rows, regressions, missing
 
 
@@ -87,16 +114,26 @@ def write_report(path, rows, regressions, missing, threshold, args):
         "# Benchmark comparison",
         "",
         f"Baseline: `{args.baseline}` — current: `{args.current}` — "
-        f"gate: real_time ratio > {1.0 + threshold:.2f}",
+        f"gate: real_time ratio > {1.0 + threshold:.2f} "
+        f"or links/s ratio < {1.0 - threshold:.2f}",
         "",
-        "| benchmark | baseline | current | ratio | status |",
-        "|---|---|---|---|---|",
+        "| benchmark | baseline | current | ratio "
+        "| links/s (base → cur) | status |",
+        "|---|---|---|---|---|---|",
     ]
-    for name, base_ns, cur_ns, ratio, status in rows:
-        cur = fmt_ns(cur_ns) if cur_ns is not None else "—"
+    for name, base, cur, ratio, rate_ratio, status in rows:
+        cur_time = fmt_ns(cur["real_time_ns"]) if cur is not None else "—"
         rat = f"{ratio:.3f}" if ratio is not None else "—"
+        if base["links_per_s"] is not None:
+            rate = (f"{fmt_rate(base['links_per_s'])} → "
+                    f"{fmt_rate(cur['links_per_s']) if cur else '—'}")
+            if rate_ratio is not None:
+                rate += f" ({rate_ratio:.3f})"
+        else:
+            rate = "—"
         lines.append(
-            f"| {name} | {fmt_ns(base_ns)} | {cur} | {rat} | {status} |")
+            f"| {name} | {fmt_ns(base['real_time_ns'])} | {cur_time} "
+            f"| {rat} | {rate} | {status} |")
     lines.append("")
     if regressions or missing:
         lines.append(
@@ -119,7 +156,8 @@ def main():
     parser.add_argument("current", help="freshly produced benchmark JSON")
     parser.add_argument(
         "--threshold", type=float, default=0.25,
-        help="allowed fractional real_time growth (default 0.25 = +25%%)")
+        help="allowed fractional real_time growth / links_per_s drop "
+             "(default 0.25 = 25%%)")
     parser.add_argument(
         "--filter", default=".",
         help="regex selecting benchmark names to gate (default: all)")

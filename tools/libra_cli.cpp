@@ -237,8 +237,9 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
   cfg.seed = seed;
   if (faults_plan != nullptr) cfg.faults = *faults_plan;
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
-  std::printf("fleet stage: %d stations, %d ticks, %d batched rows\n",
-              kStations, result.ticks, result.batched_rows);
+  std::printf("fleet stage: %d stations, %lld ticks, %lld batched rows\n",
+              kStations, static_cast<long long>(result.ticks),
+              static_cast<long long>(result.batched_rows));
   if (faults_plan != nullptr) {
     const auto* injected = result.metrics.find_counter("faults.injected");
     std::printf("fault stage: plan seed %llu, %llu faults injected "
