@@ -6,6 +6,11 @@
 // ray tracer, the O(N) vs O(N^2) beam sweeps, and one full simulated event.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <optional>
+#include <string>
+
 #include "core/classifier.h"
 #include "env/registry.h"
 #include "mac/beam_training.h"
@@ -19,6 +24,8 @@
 #include "util/thread_pool.h"
 #include "phy/error_model.h"
 #include "phy/pdp.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
 #include "sim/event_sim.h"
 #include "sim/fleet.h"
 #include "trace/dataset.h"
@@ -443,6 +450,46 @@ BENCHMARK(BM_FleetMillionLinks)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);
+
+// A classify round trip through the loopback decision daemon: encode the
+// batch, cross a unix socket, run the compiled forest server-side, decode
+// the verdict reply. Arg = rows per request. The delta against
+// BM_CompiledForestBatch at the same row count is the wire + syscall tax
+// the controller/minion split pays per decide batch.
+void BM_RemoteClassifyLoopback(benchmark::State& state) {
+  auto& f = Fixture::get();
+  const std::size_t rows_n = static_cast<std::size_t>(state.range(0));
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = "/tmp/libra_bench_rpc_" + std::to_string(::getpid()) +
+                     ".sock";
+  scfg.num_workers = 2;
+  rpc::DecisionServer server(scfg);
+  server.set_forest(f.classifier.forest());
+  server.start();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  ccfg.deadline_ms = 10000.0;
+  rpc::DecisionClient client(ccfg);
+  const ml::DataSet data = replicate_rows(f.train_ds, rows_n);
+  for (auto _ : state) {
+    const std::optional<std::vector<std::vector<double>>> votes =
+        client.classify(data);
+    if (!votes.has_value()) state.SkipWithError("loopback classify failed");
+    benchmark::DoNotOptimize(votes);
+  }
+  server.stop();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RemoteClassifyLoopback)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 // Telemetry overhead at a representative instrumentation site: one span,
 // one counter bump, one histogram observation per iteration. Arg(0) = the

@@ -6,7 +6,7 @@
 // multi-STA deployment the observe/decide/apply split exists for.
 //
 // Usage: fleet_serving [--trace-out FILE] [--faults SEED]
-//                      [--shards N] [--threads N]
+//                      [--shards N] [--threads N] [--backend remote:ADDR]
 //   --trace-out FILE   write the run's trace spans as Chrome trace-event
 //                      JSON (open in Perfetto or chrome://tracing)
 //   --faults SEED      attach the demo fault schedule (faults::demo_plan
@@ -17,13 +17,22 @@
 //                      worker thread); results are bit-identical for any N
 //   --threads N        worker threads for shard ticks (1 = serial,
 //                      0 = hardware concurrency); also bit-identical
+//   --backend remote:ADDR
+//                      serve the decide phase through a running
+//                      `libra serve` daemon (unix:PATH, /path, HOST:PORT).
+//                      The example pushes its own trained forest first, so
+//                      a loopback run is bit-identical to in-process; a
+//                      dead daemon degrades to the RA-first fallback
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
 #include "env/registry.h"
 #include "obs/span.h"
 #include "phy/error_model.h"
+#include "rpc/client.h"
 #include "sim/fleet.h"
 #include "trace/dataset.h"
 #include "util/cli.h"
@@ -32,6 +41,7 @@ using namespace libra;
 
 int main(int argc, char** argv) {
   const util::CliArgs args = util::CliArgs::parse(argc, argv);
+  args.require_known({"trace-out", "faults", "shards", "threads", "backend"});
   phy::McsTable table;
   phy::ErrorModel em(&table);
   const trace::Dataset training =
@@ -84,6 +94,27 @@ int main(int argc, char** argv) {
   if (args.flag("faults")) {
     cfg.faults = faults::demo_plan(
         static_cast<std::uint64_t>(args.number("faults", 1)));
+  }
+  std::optional<rpc::RemoteBackend> remote;
+  const std::string backend_spec = args.str("backend");
+  if (!backend_spec.empty()) {
+    if (backend_spec.rfind("remote:", 0) != 0) {
+      std::fprintf(stderr, "--backend expects remote:ADDR, got '%s'\n",
+                   backend_spec.c_str());
+      return 2;
+    }
+    remote.emplace(rpc::parse_remote_addr(backend_spec.substr(7)));
+    const std::optional<rpc::AckMsg> ack =
+        remote->client().push_model(classifier.forest());
+    if (ack.has_value() && !ack->ok) {
+      std::fprintf(stderr, "daemon rejected the model: %s\n",
+                   ack->message.c_str());
+      return 1;
+    }
+    std::printf("decide phase served by %s%s\n",
+                remote->client().address().c_str(),
+                ack.has_value() ? "" : " (unreachable -- will degrade)");
+    cfg.backend = &*remote;
   }
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
 

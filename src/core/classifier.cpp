@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
+#include "core/decision_backend.h"
 #include "obs/span.h"
 
 namespace libra::core {
@@ -117,12 +119,32 @@ trace::Action LibraClassifier::classify(const trace::FeatureVector& features,
     return trace::Action::kNA;  // graceful degradation: do nothing
   }
   const trace::FeatureVector noisy = add_window_noise(features, rng);
+  if (cfg_.backend != nullptr) {
+    // Single-row ride through the backend: one-row batch, same votes as
+    // vote_fractions (fractions are exact tree counts / num_trees).
+    ml::DataSet row(trace::FeatureVector::kDim);
+    row.add(noisy.v, 0);
+    const std::vector<std::vector<double>> votes =
+        cfg_.backend->vote_batch(row);
+    if (votes.size() != 1 || votes[0].empty()) {
+      throw BackendOutageError(
+          std::string("classify: backend '") + std::string(cfg_.backend->name()) +
+          "' returned " + std::to_string(votes.size()) + " vote rows for 1");
+    }
+    return verdict_from_votes(votes[0]);
+  }
   return verdict_from_votes(forest_.vote_fractions(noisy.v));
 }
 
 std::vector<trace::Action> LibraClassifier::classify_batch(
     std::span<const trace::FeatureVector> features,
     std::span<util::Rng* const> rngs) const {
+  return classify_batch(features, rngs, cfg_.backend);
+}
+
+std::vector<trace::Action> LibraClassifier::classify_batch(
+    std::span<const trace::FeatureVector> features,
+    std::span<util::Rng* const> rngs, DecisionBackend* backend) const {
   if (!trained_) throw std::logic_error("classifier not trained");
   if (features.size() != rngs.size()) {
     throw std::invalid_argument(
@@ -161,9 +183,24 @@ std::vector<trace::Action> LibraClassifier::classify_batch(
     forest_row[i] = rows.size();
     rows.add(add_window_noise(features[i], *rngs[i]).v, 0);
   }
-  // One pooled forest pass over every link's (finite) row.
-  const std::vector<std::vector<double>> votes =
-      forest_.vote_fractions_batch(rows);
+  // One pooled pass over every link's (finite) row: through the backend
+  // when one is attached (possibly a socket round trip), else the
+  // in-process forest. The jitter above has already consumed each link's
+  // draws either way, so a BackendOutageError thrown here leaves the
+  // streams exactly where a successful batch would have.
+  std::vector<std::vector<double>> votes;
+  if (backend != nullptr) {
+    if (!rows.empty()) votes = backend->vote_batch(rows);
+    if (votes.size() != rows.size()) {
+      throw BackendOutageError(
+          std::string("classify_batch: backend '") +
+          std::string(backend->name()) + "' returned " +
+          std::to_string(votes.size()) + " vote rows for " +
+          std::to_string(rows.size()));
+    }
+  } else {
+    votes = forest_.vote_fractions_batch(rows);
+  }
   std::vector<trace::Action> verdicts(features.size(), trace::Action::kNA);
   for (std::size_t i = 0; i < verdicts.size(); ++i) {
     if (forest_row[i] != std::numeric_limits<std::size_t>::max()) {

@@ -18,6 +18,8 @@
 
 namespace libra::core {
 
+class DecisionBackend;  // core/decision_backend.h
+
 // What classify()/classify_batch() do with a feature row containing NaN or
 // Inf (e.g. a poisoned PHY observation that slipped past the controller's
 // usability checks). kReject throws std::invalid_argument naming the row;
@@ -54,6 +56,14 @@ struct LibraClassifierConfig {
   // default is to reject loudly: a non-finite feature reaching inference is
   // a caller bug unless the caller opted into graceful degradation.
   NonFiniteFeaturePolicy non_finite_policy = NonFiniteFeaturePolicy::kReject;
+  // Where vote fractions are computed (core/decision_backend.h). Null (the
+  // default) serves through this classifier's own forest -- exactly the
+  // pre-backend behavior; a remote backend ships the jittered rows to an
+  // inference daemon instead. Non-owning; jitter/filtering/gating always
+  // stay on this side, so a loopback remote backend serving the same forest
+  // is bit-identical to null. On BackendOutageError callers substitute
+  // DecisionRequest::outage_fallback (degradation-ladder rung 2).
+  DecisionBackend* backend = nullptr;
 };
 
 class LibraClassifier {
@@ -78,6 +88,14 @@ class LibraClassifier {
   std::vector<trace::Action> classify_batch(
       std::span<const trace::FeatureVector> features,
       std::span<util::Rng* const> rngs) const;
+  // Same, with an explicit backend overriding cfg_.backend (null = serve
+  // through the classifier's own forest). The fleet engine uses this for
+  // FleetConfig::backend. Throws BackendOutageError when the backend
+  // cannot answer -- after the per-row jitter draws have been consumed, so
+  // a retried frame replays deterministically.
+  std::vector<trace::Action> classify_batch(
+      std::span<const trace::FeatureVector> features,
+      std::span<util::Rng* const> rngs, DecisionBackend* backend) const;
 
   // The missing-ACK fallback rule.
   trace::Action no_ack_action(phy::McsIndex current_mcs,
@@ -85,6 +103,12 @@ class LibraClassifier {
 
   bool trained() const { return trained_; }
   const ml::RandomForest& forest() const { return forest_; }
+
+  // Swap the decision backend after construction (e.g. attach an
+  // rpc::RemoteBackend once the daemon address is known). Non-owning;
+  // nullptr restores in-process serving.
+  void set_backend(DecisionBackend* backend) { cfg_.backend = backend; }
+  DecisionBackend* backend() const { return cfg_.backend; }
 
   // Share an external worker pool for (re)training instead of the forest's
   // own lazily created one (e.g. one pool across many live sessions).

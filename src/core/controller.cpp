@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/decision_backend.h"
 #include "obs/metrics.h"
 #include "util/stats.h"
 
@@ -100,11 +101,16 @@ bool LinkController::classifier_faulted(double t_ms) {
          faults_->query(faults::FaultKind::kClassifierOutage, t_ms).fired;
 }
 
+trace::Action LinkController::missing_ack_fallback_action(
+    const phy::PhyObservation& obs) const {
+  return (persistent_ack_loss() || !is_working(obs.cdr, obs.throughput_mbps))
+             ? trace::Action::kRA
+             : trace::Action::kNA;
+}
+
 void LinkController::plan_missing_ack_fallback(DecisionRequest& request) const {
-  if (persistent_ack_loss() ||
-      !is_working(request.obs.cdr, request.obs.throughput_mbps)) {
-    request.precomputed = trace::Action::kRA;
-  }
+  const trace::Action fallback = missing_ack_fallback_action(request.obs);
+  if (fallback != trace::Action::kNA) request.precomputed = fallback;
 }
 
 void LinkController::begin_ra_walk() {
@@ -282,7 +288,17 @@ DecisionRequest LinkController::observe(util::Rng& rng) {
 trace::Action LinkController::decide(const DecisionRequest& request,
                                      util::Rng& rng) const {
   if (request.needs_inference()) {
-    return request.classifier->classify(request.features, rng);
+    try {
+      return request.classifier->classify(request.features, rng);
+    } catch (const BackendOutageError&) {
+      // Rung 2 at decide time: the decision backend died mid-request
+      // (timeout, disconnect, malformed reply). The jitter draws are spent
+      // either way, so substituting the plan-time fallback keeps the run
+      // deterministic -- and the link degraded instead of crashed.
+      verdict_counters().degraded_decisions.inc();
+      outage_fallback_counter().inc();
+      return request.outage_fallback;
+    }
   }
   return request.resolved_without_inference();
 }
@@ -357,12 +373,15 @@ LibraController::LibraController(channel::Link* link,
 
 void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
   (void)rng;
-  // Degradation ladder rung 2: the classifier is unavailable (an injected
-  // outage/timeout window), so degrade to the COTS missing-ACK heuristic
-  // wholesale. Checked before any cadence state so that under a full
-  // outage this controller is frame-for-frame the RaFirstController rule
-  // (tests/faults_test.cpp proves bit-identity).
-  if (classifier_faulted(request.report.t_ms)) {
+  // Degradation ladder rung 2: the classifier is unavailable -- an injected
+  // outage/timeout window, or (remote backends only) a transport fault /
+  // failed health probe at the client seam -- so degrade to the COTS
+  // missing-ACK heuristic wholesale. Checked before any cadence state so
+  // that under a full outage this controller is frame-for-frame the
+  // RaFirstController rule (tests/faults_test.cpp and tests/rpc_test.cpp
+  // prove bit-identity for both flavors).
+  if (classifier_faulted(request.report.t_ms) ||
+      backend_unreachable(request.report.t_ms)) {
     verdict_counters().degraded_decisions.inc();
     plan_missing_ack_fallback(request);
     return;
@@ -396,6 +415,35 @@ void LibraController::plan(DecisionRequest& request, util::Rng& rng) {
   }
   request.classifier = classifier_;
   request.features = features;
+  // Freeze the rung-2 verdict this frame falls back to if the backend
+  // fails between here and the (possibly off-thread, batched) decide.
+  request.outage_fallback = missing_ack_fallback_action(request.obs);
+}
+
+bool LibraController::backend_unreachable(double t_ms) {
+  DecisionBackend* backend = classifier_->backend();
+  if (backend == nullptr || backend->local()) return false;
+  // Injected transport faults fire at this seam -- the moment the
+  // controller would commit to a remote round trip. Checked before the
+  // health probe, and a 100%-probability window consumes no draws, so a
+  // full kRpcDrop window is frame-identical to a full kClassifierOutage.
+  if (faults_ != nullptr && faults_->active()) {
+    if (faults_->query(faults::FaultKind::kRpcDrop, t_ms).fired) {
+      outage_fallback_counter().inc();
+      return true;
+    }
+    const faults::FaultInjector::Verdict delayed =
+        faults_->query(faults::FaultKind::kRpcDelay, t_ms);
+    if (delayed.fired && delayed.magnitude >= backend->deadline_ms()) {
+      outage_fallback_counter().inc();
+      return true;
+    }
+  }
+  if (!backend->available()) {
+    outage_fallback_counter().inc();
+    return true;
+  }
+  return false;
 }
 
 void LibraController::note_verdict(trace::Action verdict,

@@ -95,6 +95,13 @@ struct DecisionRequest {
   // unusable (non-finite), so the verdict is kNA and apply() must not feed
   // the garbage into the upward prober.
   bool hold_last_mcs = false;
+  // Degradation ladder rung 2, resolved at plan time: the verdict to
+  // substitute when the decision backend fails at decide time (remote
+  // timeout, disconnect, malformed reply -> BackendOutageError). It is the
+  // same missing-ACK rule a plan-time outage precomputes, frozen here
+  // because the rule reads controller state (the ACK-loss EWMA) that the
+  // fleet's decide phase -- possibly on another thread -- must not touch.
+  trace::Action outage_fallback = trace::Action::kNA;
 
   bool needs_inference() const { return decision_due && classifier != nullptr; }
   // The verdict when no inference is needed (what decide() returns without
@@ -162,6 +169,8 @@ class LinkController {
   // when ACKs are persistently missing or the MCS stopped working) -- the
   // rule RaFirstController runs all the time, which is what a LiBRA AP
   // degrades to when inference is unavailable.
+  trace::Action missing_ack_fallback_action(
+      const phy::PhyObservation& obs) const;
   void plan_missing_ack_fallback(DecisionRequest& request) const;
   // Snapshot the current observation as the reference "initial state" the
   // feature deltas are computed against.
@@ -211,6 +220,14 @@ class LibraController : public LinkController {
                     const DecisionRequest& request) override;
 
  private:
+  // Degradation ladder rung 2, transport flavor: true when the classifier
+  // serves through a *remote* decision backend that cannot answer this
+  // frame -- an injected kRpcDrop, a kRpcDelay at/past the backend's
+  // deadline, or a failed health probe (daemon down, reconnect pending).
+  // Always false for in-process backends. Queries the fault stream in a
+  // fixed order (drop, then delay) so faulted runs replay bit-for-bit.
+  bool backend_unreachable(double t_ms);
+
   const LibraClassifier* classifier_;  // non-owning
   int frames_since_decision_ = 0;
   int holdoff_frames_ = 0;

@@ -15,7 +15,8 @@ namespace {
 constexpr std::array<std::string_view, kNumFaultKinds> kKindNames = {
     "drop_ack",          "duplicate_ack",      "stale_phy",
     "garbage_phy",       "truncate_features",  "classifier_outage",
-    "beam_training_failure", "clock_skew"};
+    "beam_training_failure", "clock_skew",     "rpc_drop",
+    "rpc_delay"};
 
 // One counter per kind plus the total, pre-registered so the per-frame
 // query path never builds a metric name.
@@ -74,6 +75,11 @@ void FaultPlan::validate() const {
         (w.magnitude < 0.0 || w.magnitude > 1.0)) {
       throw std::invalid_argument(
           where + "truncation keep-fraction must be in [0, 1]");
+    }
+    if (w.kind == FaultKind::kRpcDelay && w.magnitude < 0.0) {
+      throw std::invalid_argument(
+          where + "rpc delay must be >= 0 ms, got " +
+          std::to_string(w.magnitude));
     }
   }
 }

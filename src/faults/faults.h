@@ -6,7 +6,8 @@
 // FaultPlan is a schedule of seeded fault events -- dropped/duplicated
 // Block-ACKs, stale or non-finite PHY observations, truncated metric
 // vectors, classifier outage windows, beam-training failures, per-link
-// clock skew -- injected at the observe/decide/apply seams of
+// clock skew, dropped/delayed classify RPCs against a remote decision
+// backend -- injected at the observe/decide/apply seams of
 // core::LinkController and sim::run_fleet.
 //
 // Determinism contract (same discipline as the fleet engine): every fault
@@ -46,8 +47,15 @@ enum class FaultKind : int {
   kBeamTrainingFailure,  // the sweep runs (overhead charged) but its result
                          // is unusable: the old beam pair is kept
   kClockSkew,            // this link's clock runs fast/slow by `magnitude`
+  kRpcDrop,              // the classify RPC (or its reply) is lost at the
+                         // transport seam; only fires against a *remote*
+                         // decision backend, where it trips the same
+                         // missing-ACK fallback rung as kClassifierOutage
+  kRpcDelay,             // the classify round trip takes `magnitude` ms; at
+                         // or past the remote backend's deadline it counts
+                         // as an outage (below it, only telemetry notices)
 };
-inline constexpr int kNumFaultKinds = 8;
+inline constexpr int kNumFaultKinds = 10;
 
 std::string_view to_string(FaultKind kind);
 

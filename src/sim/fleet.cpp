@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/decision_backend.h"
 #include "obs/span.h"
 #include "util/thread_pool.h"
 
@@ -21,6 +22,7 @@ struct FleetMetrics {
   obs::Counter& ticks;
   obs::Counter& batched_rows;
   obs::Counter& link_frames;
+  obs::Counter& degraded_decisions;  // shared with the controller's counter
   obs::Histogram& tick_latency_us;
   obs::Histogram& gather_us;
   obs::Histogram& decide_us;
@@ -31,6 +33,7 @@ FleetMetrics& fleet_metrics() {
   static FleetMetrics m{r.counter("fleet.ticks"),
                         r.counter("fleet.batched_rows"),
                         r.counter("fleet.link_frames"),
+                        r.counter("controller.degraded_decisions"),
                         r.histogram("fleet.tick_latency_us"),
                         r.histogram("fleet.gather_us"),
                         r.histogram("fleet.decide_us"),
@@ -231,8 +234,30 @@ FleetResult run_fleet(std::span<const FleetLink> links,
       OBS_SPAN("fleet.decide", &metrics.decide_us);
       for (Group& group : shard.groups) {
         if (group.rows.empty()) continue;
-        const std::vector<trace::Action> batch =
-            group.key->classify_batch(group.rows, group.row_rngs);
+        // FleetConfig::backend overrides every classifier's own backend;
+        // null falls through to whatever the classifier was configured
+        // with (in-process by default).
+        core::DecisionBackend* backend =
+            cfg.backend != nullptr ? cfg.backend : group.key->backend();
+        std::vector<trace::Action> batch;
+        try {
+          batch = group.key->classify_batch(group.rows, group.row_rngs,
+                                            backend);
+        } catch (const core::BackendOutageError&) {
+          // The jitter draws for this batch are already consumed, so the
+          // per-link streams stay aligned with a healthy run. Substitute
+          // each row's plan-time rung-2 verdict (the RA-first rule frozen
+          // in DecisionRequest::outage_fallback) and keep the fleet
+          // ticking -- a dead daemon degrades the fleet, never stops it.
+          core::outage_fallback_counter().inc(group.rows.size());
+          metrics.degraded_decisions.inc(group.rows.size());
+          for (const std::size_t slot : group.row_slot) {
+            shard.verdicts[slot] = shard.requests[slot].outage_fallback;
+          }
+          shard.batched_rows += static_cast<std::int64_t>(group.rows.size());
+          metrics.batched_rows.inc(group.rows.size());
+          continue;
+        }
         for (std::size_t m = 0; m < batch.size(); ++m) {
           shard.verdicts[group.row_slot[m]] = batch[m];
         }

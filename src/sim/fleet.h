@@ -42,6 +42,10 @@
 #include "sim/session.h"
 #include "util/stats.h"
 
+namespace libra::core {
+class DecisionBackend;  // core/decision_backend.h
+}
+
 namespace libra::sim {
 
 // One fleet member: a controller bound to its own environment and link
@@ -68,6 +72,17 @@ struct FleetConfig {
   // bit-identical for any value. Throws std::invalid_argument on negative
   // shards/num_threads.
   int num_threads = 1;
+  // Decision backend override for the decide phase (core/decision_backend.h).
+  // Null (the default) leaves every classifier serving through its own
+  // config -- in-process unless the classifier itself carries a backend. A
+  // remote backend here ships every shard's jittered rows to an inference
+  // daemon; a loopback daemon serving the same forest is bit-identical to
+  // local for any (shards, num_threads). When the backend cannot answer
+  // (BackendOutageError), every row of the failed batch falls back to its
+  // plan-time rung-2 verdict (DecisionRequest::outage_fallback -- the same
+  // RA-first rule as a classifier outage) and rpc.outage_fallbacks counts
+  // the rows. Non-owning.
+  core::DecisionBackend* backend = nullptr;
   // Deterministic fault schedule (faults/faults.h). Every link gets its own
   // fault stream, forked off Rng(faults.seed) in link order -- disjoint
   // from the simulation streams above, so an empty plan (the default) is

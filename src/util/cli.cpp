@@ -42,6 +42,27 @@ double CliArgs::number(const std::string& key, double fallback) const {
   return std::stod(it->second);
 }
 
+void CliArgs::require_known(
+    std::initializer_list<std::string_view> known) const {
+  std::string unknown;
+  for (const auto& [key, value] : options) {
+    bool found = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + key;
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unrecognized option(s): " + unknown);
+  }
+}
+
 std::string CliArgs::str(const std::string& key,
                          const std::string& fallback) const {
   const auto it = options.find(key);

@@ -7,6 +7,7 @@
 // flag plus a stray positional (the historical bug this fixes).
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <string_view>
@@ -33,6 +34,11 @@ struct CliArgs {
   std::string str(const std::string& key,
                   const std::string& fallback = "") const;
   bool flag(const std::string& key) const { return options.count(key) > 0; }
+
+  // Reject typos: throws std::invalid_argument naming every parsed option
+  // not in `known` (keys without the leading "--"). A misspelled
+  // `--sokcet` must fail the command, not silently fall back to a default.
+  void require_known(std::initializer_list<std::string_view> known) const;
 };
 
 }  // namespace libra::util

@@ -1,0 +1,836 @@
+// The decision wire protocol and the controller/minion split (src/rpc/):
+//
+//  - wire round trips are bit-exact (raw IEEE-754 transport) and every
+//    malformed or hostile frame is rejected with WireError before any
+//    allocation -- the import_model untrusted-input discipline at the
+//    transport seam;
+//  - a loopback DecisionServer serving the same forest is bit-identical
+//    to in-process inference, for the raw client, for the fleet engine,
+//    and for ANY (shards, num_threads) grid point (the determinism
+//    contract survives the socket);
+//  - a dead or dropped backend degrades through rung 2 of the ladder:
+//    frame-identical to a 100% classifier outage, which in turn reduces
+//    to the RA-first heuristic (faults_test proves that last hop);
+//  - ModelPush hot swaps are atomic per batch: concurrent classify
+//    traffic never crashes and never sees two forests inside one reply.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/decision_backend.h"
+#include "env/registry.h"
+#include "ml/model_io.h"
+#include "ml/random_forest.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
+#include "rpc/wire.h"
+#include "sim/fleet.h"
+#include "sim/golden.h"
+#include "test_helpers.h"
+
+namespace libra {
+namespace {
+
+using libra::testing::make_record;
+
+// ---------- shared fixtures ----------
+
+// A unique unix socket path per call (tests run in one process; the pid
+// guards against a stale file from a crashed previous run).
+std::string unique_socket_path() {
+  static std::atomic<int> counter{0};
+  return "/tmp/libra_rpc_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// A trained 3-class classifier over clearly separated synthetic cases
+// (same corpus as fleet_test/faults_test).
+core::LibraClassifier make_classifier() {
+  trace::Dataset ds;
+  for (int i = 0; i < 40; ++i) {
+    trace::CaseRecord ba = make_record(4, -1, 4);
+    ba.init_best.snr_db = 20.0;
+    ba.new_at_init_pair.snr_db = 5.0 - 0.1 * (i % 5);
+    ba.new_at_init_pair.tof_ns = std::nullopt;
+    ds.records.push_back(ba);
+    trace::CaseRecord ra = make_record(8, 5, 5);
+    ra.init_best.snr_db = 26.0;
+    ra.init_best.tof_ns = 20.0;
+    ra.new_at_init_pair.snr_db = 19.0 - 0.1 * (i % 7);
+    ra.new_at_init_pair.tof_ns = 45.0;
+    ds.records.push_back(ra);
+    trace::CaseRecord na = make_record(6, 6, 6);
+    na.forced_na = true;
+    na.init_best.snr_db = 22.0;
+    na.new_at_init_pair.snr_db = 22.0 - 0.05 * (i % 3);
+    ds.na_records.push_back(na);
+  }
+  core::LibraClassifierConfig cfg;
+  cfg.forest.num_threads = 4;
+  core::LibraClassifier c(cfg);
+  util::Rng rng(1);
+  c.train(ds, {}, rng);
+  return c;
+}
+
+const phy::ErrorModel& shared_error_model() {
+  static const phy::McsTable table;
+  static const phy::ErrorModel em(&table);
+  return em;
+}
+
+// A small fitted forest over a trivially separable 3-feature corpus, with
+// a chosen tree count -- the hot-swap test tells forests apart by their
+// vote denominators (k/10 vs k/7).
+ml::RandomForest make_small_forest(int num_trees, std::uint64_t seed = 3) {
+  ml::DataSet ds(3);
+  for (int i = 0; i < 30; ++i) {
+    const double j = 0.01 * i;
+    ds.add(std::vector<double>{0.0 + j, 1.0, 5.0}, 0);
+    ds.add(std::vector<double>{5.0 + j, 2.0, 1.0}, 1);
+    ds.add(std::vector<double>{10.0 + j, 3.0, 3.0}, 2);
+  }
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = num_trees;
+  ml::RandomForest forest(cfg);
+  util::Rng rng(seed);
+  forest.fit(ds, rng);
+  return forest;
+}
+
+ml::DataSet make_query_rows() {
+  ml::DataSet rows(3);
+  rows.add(std::vector<double>{0.2, 1.0, 4.9}, 0);
+  rows.add(std::vector<double>{5.1, 2.0, 1.2}, 0);
+  rows.add(std::vector<double>{9.8, 3.1, 2.9}, 0);
+  rows.add(std::vector<double>{4.0, 1.5, 3.0}, 0);
+  return rows;
+}
+
+// ---------- wire: round trips ----------
+
+TEST(Wire, FrameRoundTripAllTypes) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  for (const rpc::MsgType type :
+       {rpc::MsgType::kHello, rpc::MsgType::kPing, rpc::MsgType::kPong,
+        rpc::MsgType::kClassifyRequest, rpc::MsgType::kVerdictReply,
+        rpc::MsgType::kModelPush, rpc::MsgType::kAck}) {
+    const std::vector<std::uint8_t> bytes = rpc::encode_frame(type, payload);
+    ASSERT_EQ(bytes.size(), rpc::kHeaderBytes + payload.size());
+    std::size_t consumed = 0;
+    const std::optional<rpc::Frame> frame = rpc::decode_frame(bytes, consumed);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(Wire, PartialFrameAsksForMoreBytes) {
+  const std::vector<std::uint8_t> bytes =
+      rpc::encode_frame(rpc::MsgType::kPing, std::vector<std::uint8_t>(8, 7));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::size_t consumed = 99;
+    const std::optional<rpc::Frame> frame = rpc::decode_frame(
+        std::span<const std::uint8_t>(bytes.data(), cut), consumed);
+    EXPECT_FALSE(frame.has_value()) << "cut " << cut;
+    EXPECT_EQ(consumed, 0u) << "cut " << cut;
+  }
+}
+
+TEST(Wire, TwoFramesDecodeInSequence) {
+  std::vector<std::uint8_t> stream =
+      rpc::encode_frame(rpc::MsgType::kPing, {});
+  const std::vector<std::uint8_t> second =
+      rpc::encode_frame(rpc::MsgType::kPong, std::vector<std::uint8_t>{9});
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  std::size_t consumed = 0;
+  const std::optional<rpc::Frame> first = rpc::decode_frame(stream, consumed);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, rpc::MsgType::kPing);
+  const std::span<const std::uint8_t> rest(stream.data() + consumed,
+                                           stream.size() - consumed);
+  std::size_t consumed2 = 0;
+  const std::optional<rpc::Frame> next = rpc::decode_frame(rest, consumed2);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->type, rpc::MsgType::kPong);
+  EXPECT_EQ(consumed + consumed2, stream.size());
+}
+
+TEST(Wire, ClassifyRequestRoundTripIsBitExact) {
+  // Extreme doubles must survive the wire with their exact bit patterns --
+  // that is the whole determinism argument for remote serving.
+  const std::vector<double> extremes = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      -1.0 / 7.0,
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      6.02214076e23,
+      -2.2250738585072011e-308,  // the infamous slow-parse denormal
+  };
+  rpc::ClassifyRequestMsg msg;
+  msg.request_id = 0xDEADBEEFCAFEF00Dull;
+  msg.row_dim = 5;
+  msg.rows.assign(extremes.begin(), extremes.end());
+  const std::vector<std::uint8_t> payload = msg.encode();
+  const rpc::ClassifyRequestMsg back = rpc::ClassifyRequestMsg::decode(payload);
+  EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.row_dim, msg.row_dim);
+  ASSERT_EQ(back.rows.size(), msg.rows.size());
+  EXPECT_EQ(std::memcmp(back.rows.data(), msg.rows.data(),
+                        msg.rows.size() * sizeof(double)),
+            0);
+}
+
+TEST(Wire, VerdictReplyRoundTripThroughVotes) {
+  const std::vector<std::vector<double>> votes = {
+      {0.25, 0.5, 0.25}, {1.0, 0.0, 0.0}, {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0}};
+  const rpc::VerdictReplyMsg msg = rpc::VerdictReplyMsg::from_votes(42, votes);
+  const rpc::VerdictReplyMsg back =
+      rpc::VerdictReplyMsg::decode(msg.encode());
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.to_votes(), votes);
+}
+
+TEST(Wire, HelloModelPushAckRoundTrips) {
+  rpc::HelloMsg hello;
+  hello.version = rpc::kVersion;
+  hello.model_loaded = true;
+  hello.num_classes = 3;
+  hello.num_trees = 60;
+  const rpc::HelloMsg hback = rpc::HelloMsg::decode(hello.encode());
+  EXPECT_EQ(hback.version, hello.version);
+  EXPECT_EQ(hback.model_loaded, hello.model_loaded);
+  EXPECT_EQ(hback.num_classes, hello.num_classes);
+  EXPECT_EQ(hback.num_trees, hello.num_trees);
+
+  rpc::ModelPushMsg push;
+  push.request_id = 7;
+  push.model_text = "forest 1\nnot actually validated here\n";
+  const rpc::ModelPushMsg pback = rpc::ModelPushMsg::decode(push.encode());
+  EXPECT_EQ(pback.request_id, 7u);
+  EXPECT_EQ(pback.model_text, push.model_text);
+
+  rpc::AckMsg ack;
+  ack.request_id = 9;
+  ack.ok = false;
+  ack.message = "nope";
+  const rpc::AckMsg aback = rpc::AckMsg::decode(ack.encode());
+  EXPECT_EQ(aback.request_id, 9u);
+  EXPECT_FALSE(aback.ok);
+  EXPECT_EQ(aback.message, "nope");
+
+  rpc::AckMsg empty;  // empty message must round-trip too
+  const rpc::AckMsg eback = rpc::AckMsg::decode(empty.encode());
+  EXPECT_TRUE(eback.ok);
+  EXPECT_TRUE(eback.message.empty());
+}
+
+// ---------- wire: hostile input ----------
+
+TEST(Wire, RejectsBadMagicVersionReservedTypeChecksum) {
+  const std::vector<std::uint8_t> good =
+      rpc::encode_frame(rpc::MsgType::kPing, std::vector<std::uint8_t>{1, 2});
+  std::size_t consumed = 0;
+
+  auto corrupt = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bad = good;
+    bad[offset] = value;
+    return bad;
+  };
+  // magic (offset 0), version (4), type (6), reserved (12), checksum (16),
+  // payload byte (header+0 -> checksum mismatch).
+  EXPECT_THROW(rpc::decode_frame(corrupt(0, 0xFF), consumed), rpc::WireError);
+  EXPECT_THROW(rpc::decode_frame(corrupt(4, 0x7F), consumed), rpc::WireError);
+  EXPECT_THROW(rpc::decode_frame(corrupt(6, 0x63), consumed), rpc::WireError);
+  EXPECT_THROW(rpc::decode_frame(corrupt(12, 1), consumed), rpc::WireError);
+  EXPECT_THROW(rpc::decode_frame(corrupt(16, good[16] ^ 0x5A), consumed),
+               rpc::WireError);
+  EXPECT_THROW(
+      rpc::decode_frame(corrupt(rpc::kHeaderBytes, good[rpc::kHeaderBytes] ^ 1),
+                        consumed),
+      rpc::WireError);
+}
+
+TEST(Wire, RejectsOversizedPayloadClaimBeforeAllocation) {
+  // A crafted header claiming a ~4 GiB payload: the decoder must throw on
+  // the length field itself -- BEFORE comparing against the buffer or
+  // allocating -- so a 24-byte datagram cannot request a 4 GiB buffer.
+  std::vector<std::uint8_t> header =
+      rpc::encode_frame(rpc::MsgType::kPing, {});
+  const std::uint32_t huge = 0xFFFFFFF0u;  // ~4 GiB claim
+  std::memcpy(header.data() + 8, &huge, sizeof(huge));
+  std::size_t consumed = 0;
+  EXPECT_THROW(rpc::decode_frame(header, consumed), rpc::WireError);
+
+  // Just over the cap must also be rejected even though the u32 fits.
+  const auto just_over =
+      static_cast<std::uint32_t>(rpc::kMaxPayloadBytes + 1);
+  std::memcpy(header.data() + 8, &just_over, sizeof(just_over));
+  EXPECT_THROW(rpc::decode_frame(header, consumed), rpc::WireError);
+}
+
+TEST(Wire, RejectsCountPayloadMismatch) {
+  // num_rows * row_dim larger than the shipped doubles.
+  rpc::ClassifyRequestMsg msg;
+  msg.request_id = 1;
+  msg.row_dim = 4;
+  msg.rows.assign(8, 1.5);  // 2 rows
+  std::vector<std::uint8_t> payload = msg.encode();
+  // Bump the num_rows field (offset 8 after the u64 request_id).
+  const std::uint32_t forged_rows = 1000;
+  std::memcpy(payload.data() + 8, &forged_rows, sizeof(forged_rows));
+  EXPECT_THROW(rpc::ClassifyRequestMsg::decode(payload), rpc::WireError);
+
+  // Claimed row_dim over the cap.
+  const std::uint32_t two = 2;
+  std::memcpy(payload.data() + 8, &two, sizeof(two));
+  const auto huge_dim = static_cast<std::uint32_t>(rpc::kMaxRowDim + 1);
+  std::memcpy(payload.data() + 12, &huge_dim, sizeof(huge_dim));
+  EXPECT_THROW(rpc::ClassifyRequestMsg::decode(payload), rpc::WireError);
+}
+
+TEST(Wire, RejectsTrailingBytes) {
+  rpc::AckMsg ack;
+  ack.message = "fine";
+  std::vector<std::uint8_t> payload = ack.encode();
+  payload.push_back(0);  // one stray byte
+  EXPECT_THROW(rpc::AckMsg::decode(payload), rpc::WireError);
+}
+
+TEST(Wire, EncodeRejectsOversizedBatch) {
+  rpc::ClassifyRequestMsg msg;
+  msg.row_dim = 1;
+  msg.rows.assign(rpc::kMaxBatchRows + 1, 0.0);
+  EXPECT_THROW(msg.encode(), rpc::WireError);
+}
+
+// ---------- address parsing ----------
+
+TEST(RpcClient, ParseRemoteAddrForms) {
+  EXPECT_EQ(rpc::parse_remote_addr("unix:/tmp/x.sock").unix_socket,
+            "/tmp/x.sock");
+  EXPECT_EQ(rpc::parse_remote_addr("/tmp/y.sock").unix_socket, "/tmp/y.sock");
+  const rpc::ClientConfig tcp = rpc::parse_remote_addr("127.0.0.1:9000");
+  EXPECT_TRUE(tcp.unix_socket.empty());
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 9000);
+
+  EXPECT_THROW(rpc::parse_remote_addr("unix:"), std::invalid_argument);
+  EXPECT_THROW(rpc::parse_remote_addr("nocolon"), std::invalid_argument);
+  EXPECT_THROW(rpc::parse_remote_addr("host:notaport"), std::invalid_argument);
+  EXPECT_THROW(rpc::parse_remote_addr("host:70000"), std::invalid_argument);
+  EXPECT_THROW(rpc::parse_remote_addr(":9000"), std::invalid_argument);
+}
+
+// ---------- server/client loopback ----------
+
+TEST(RpcLoopback, HelloPingClassifyMatchInProcessBitExact) {
+  const ml::RandomForest forest = make_small_forest(10);
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(forest);
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient client(ccfg);
+  ASSERT_TRUE(client.connect());
+  EXPECT_TRUE(client.ping());
+
+  const std::optional<rpc::HelloMsg> hello = client.hello();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_TRUE(hello->model_loaded);
+  EXPECT_EQ(hello->num_trees, 10u);
+  EXPECT_EQ(hello->num_classes, 3);
+
+  const ml::DataSet rows = make_query_rows();
+  const std::optional<std::vector<std::vector<double>>> votes =
+      client.classify(rows);
+  ASSERT_TRUE(votes.has_value());
+  const std::vector<std::vector<double>> local =
+      forest.vote_fractions_batch(rows);
+  ASSERT_EQ(votes->size(), local.size());
+  for (std::size_t r = 0; r < local.size(); ++r) {
+    ASSERT_EQ((*votes)[r].size(), local[r].size()) << "row " << r;
+    for (std::size_t c = 0; c < local[r].size(); ++c) {
+      EXPECT_EQ((*votes)[r][c], local[r][c]) << "row " << r << " class " << c;
+    }
+  }
+  server.stop();
+}
+
+TEST(RpcLoopback, TcpEphemeralPortServes) {
+  rpc::ServerConfig scfg;  // empty unix_socket -> TCP, port 0 -> ephemeral
+  rpc::DecisionServer server(scfg);
+  server.set_forest(make_small_forest(5));
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  rpc::ClientConfig ccfg;
+  ccfg.port = server.port();
+  rpc::DecisionClient client(ccfg);
+  EXPECT_TRUE(client.ping());
+  const std::optional<std::vector<std::vector<double>>> votes =
+      client.classify(make_query_rows());
+  ASSERT_TRUE(votes.has_value());
+  EXPECT_EQ(votes->size(), 4u);
+  server.stop();
+}
+
+TEST(RpcLoopback, ClassifyAgainstEmptyServerFailsSoft) {
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);  // no forest installed
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient client(ccfg);
+  const std::optional<rpc::HelloMsg> hello = client.hello();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_FALSE(hello->model_loaded);
+  EXPECT_FALSE(client.classify(make_query_rows()).has_value());
+  server.stop();
+}
+
+TEST(RpcLoopback, TamperedModelPushIsRejectedAndOldModelKeepsServing) {
+  const ml::RandomForest forest = make_small_forest(10);
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(forest);
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient client(ccfg);
+
+  // Take a healthy serialization and vandalize it: the server must run the
+  // full load_forest/import_model validation and keep the old model.
+  std::ostringstream out;
+  ml::save_forest(forest, out);
+  std::string tampered = out.str();
+  const std::size_t digit = tampered.find_first_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  tampered.replace(digit, 1, "999999");  // absurd header count
+
+  const std::optional<rpc::AckMsg> ack = client.push_model_text(tampered);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(ack->ok);
+  EXPECT_FALSE(ack->message.empty());
+
+  // Garbage that is not even close to the format.
+  const std::optional<rpc::AckMsg> ack2 =
+      client.push_model_text("DROP TABLE forests;");
+  ASSERT_TRUE(ack2.has_value());
+  EXPECT_FALSE(ack2->ok);
+
+  // The original 10-tree model still answers, bit-exact.
+  const ml::DataSet rows = make_query_rows();
+  const std::optional<std::vector<std::vector<double>>> votes =
+      client.classify(rows);
+  ASSERT_TRUE(votes.has_value());
+  EXPECT_EQ(*votes, forest.vote_fractions_batch(rows));
+  server.stop();
+}
+
+// True when `v` is an exact multiple of 1/num_trees (vote fractions are
+// integer tree counts over num_trees, and both 10ths and 7ths are exact
+// in double for the k/N values a forest can emit).
+bool fits_denominator(double v, int num_trees) {
+  const double scaled = v * num_trees;
+  const double rounded = std::round(scaled);
+  return scaled == rounded && rounded >= 0 && rounded <= num_trees;
+}
+
+TEST(RpcLoopback, ModelPushHotSwapNeverMixesForestsMidBatch) {
+  // Serve a 10-tree forest, hammer it with classify batches from two
+  // threads while the main thread repeatedly swaps between a 10-tree and a
+  // 7-tree forest. Every reply must be internally consistent with exactly
+  // one forest: all votes in one reply fit k/10 or all fit k/7. A torn
+  // swap would produce a reply mixing denominators (or a crash).
+  const ml::RandomForest ten = make_small_forest(10);
+  const ml::RandomForest seven = make_small_forest(7, /*seed=*/5);
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(ten);
+  server.start();
+
+  std::ostringstream ten_text_s, seven_text_s;
+  ml::save_forest(ten, ten_text_s);
+  ml::save_forest(seven, seven_text_s);
+  const std::string ten_text = ten_text_s.str();
+  const std::string seven_text = seven_text_s.str();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> replies{0};
+  std::atomic<int> violations{0};
+  auto hammer = [&] {
+    rpc::ClientConfig ccfg;
+    ccfg.unix_socket = scfg.unix_socket;
+    rpc::DecisionClient client(ccfg);
+    const ml::DataSet rows = make_query_rows();
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::optional<std::vector<std::vector<double>>> votes =
+          client.classify(rows);
+      if (!votes.has_value()) continue;  // transient (server busy swapping)
+      replies.fetch_add(1);
+      bool all_ten = true, all_seven = true;
+      for (const std::vector<double>& row : *votes) {
+        for (const double v : row) {
+          if (!fits_denominator(v, 10)) all_ten = false;
+          if (!fits_denominator(v, 7)) all_seven = false;
+        }
+      }
+      if (!all_ten && !all_seven) violations.fetch_add(1);
+    }
+  };
+  std::thread t1(hammer), t2(hammer);
+
+  rpc::ClientConfig pcfg;
+  pcfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient pusher(pcfg);
+  for (int swap = 0; swap < 20; ++swap) {
+    const std::optional<rpc::AckMsg> ack =
+        pusher.push_model_text(swap % 2 == 0 ? seven_text : ten_text);
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_TRUE(ack->ok) << ack->message;
+  }
+  stop.store(true, std::memory_order_release);
+  t1.join();
+  t2.join();
+  server.stop();
+
+  EXPECT_GT(replies.load(), 0);
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// ---------- fleet integration: loopback bit-identity ----------
+
+// One station's whole world (same corpus as fleet_test).
+struct Station {
+  env::Environment env;
+  array::PhasedArray ap;
+  array::PhasedArray client;
+  channel::Link link;
+  std::unique_ptr<core::LinkController> controller;
+  sim::SessionScript script;
+
+  Station(const array::Codebook* codebook, geom::Vec2 client_pos,
+          const core::LibraClassifier* clf)
+      : env(env::make_lobby()),
+        ap({2, 6}, 0.0, codebook),
+        client(client_pos, 180.0, codebook),
+        link(&env, &ap, &client) {
+    if (clf != nullptr) {
+      controller = std::make_unique<core::LibraController>(
+          &link, &shared_error_model(), clf);
+    } else {
+      controller = std::make_unique<core::RaFirstController>(
+          &link, &shared_error_model(), core::ControllerConfig{});
+    }
+  }
+};
+
+std::vector<std::unique_ptr<Station>> build_stations(
+    const array::Codebook* codebook, const core::LibraClassifier* clf) {
+  std::vector<std::unique_ptr<Station>> stations;
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{10, 6}, clf));
+  stations[0]->script.duration_ms = 1500.0;
+  stations[0]->script.rx_trajectory =
+      sim::Trajectory::stationary({10, 6}, 180.0);
+  stations[0]->script.blockage.push_back({400.0, 1100.0, {{6, 6}, 0.3, 35.0}});
+
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{12, 7}, clf));
+  stations[1]->script.duration_ms = 1500.0;
+  stations[1]->script.rx_trajectory =
+      sim::Trajectory::walk({12, 7}, {17, 8}, 1500.0, geom::Vec2{2, 6});
+
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{9, 5}, clf));
+  stations[2]->script.duration_ms = 1500.0;
+  stations[2]->script.rx_trajectory =
+      sim::Trajectory::stationary({9, 5}, 180.0);
+  stations[2]->script.interference.push_back(
+      {300.0, 1000.0, {{10, 1}, 50.0, 0.5}});
+
+  stations.push_back(
+      std::make_unique<Station>(codebook, geom::Vec2{11, 6}, clf));
+  stations[3]->script.duration_ms = 700.0;  // early finisher
+  stations[3]->script.rx_trajectory =
+      sim::Trajectory::stationary({11, 6}, 180.0);
+  return stations;
+}
+
+sim::FleetResult run_station_fleet(const core::LibraClassifier* clf,
+                                   std::uint64_t seed,
+                                   core::DecisionBackend* backend = nullptr,
+                                   int shards = 0, int num_threads = 1,
+                                   const faults::FaultPlan& plan = {}) {
+  const array::Codebook codebook;
+  auto stations = build_stations(&codebook, clf);
+  std::vector<sim::FleetLink> members;
+  for (auto& s : stations) {
+    members.push_back({&s->env, &s->link, s->controller.get(), s->script});
+  }
+  sim::FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.keep_frame_logs = true;
+  cfg.backend = backend;
+  cfg.shards = shards;
+  cfg.num_threads = num_threads;
+  cfg.faults = plan;
+  return sim::run_fleet(members, cfg);
+}
+
+void expect_frame_logs_identical(const sim::FleetResult& a,
+                                 const sim::FleetResult& b) {
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    const sim::SessionResult& x = a.links[i];
+    const sim::SessionResult& y = b.links[i];
+    EXPECT_EQ(x.frames, y.frames) << "link " << i;
+    EXPECT_EQ(x.adaptations_ba, y.adaptations_ba) << "link " << i;
+    EXPECT_EQ(x.adaptations_ra, y.adaptations_ra) << "link " << i;
+    EXPECT_EQ(x.outages, y.outages) << "link " << i;
+    ASSERT_EQ(x.frame_log.size(), y.frame_log.size()) << "link " << i;
+    for (std::size_t f = 0; f < x.frame_log.size(); ++f) {
+      const core::FrameReport& p = x.frame_log[f];
+      const core::FrameReport& q = y.frame_log[f];
+      ASSERT_EQ(p.t_ms, q.t_ms) << "link " << i << " frame " << f;
+      ASSERT_EQ(p.mcs, q.mcs) << "link " << i << " frame " << f;
+      ASSERT_EQ(p.goodput_mbps, q.goodput_mbps)
+          << "link " << i << " frame " << f;
+      ASSERT_EQ(p.ack, q.ack) << "link " << i << " frame " << f;
+      ASSERT_EQ(p.action, q.action) << "link " << i << " frame " << f;
+    }
+  }
+  EXPECT_EQ(sim::degradation_digest(a), sim::degradation_digest(b));
+}
+
+// The acceptance criterion for the whole split: a loopback daemon serving
+// the classifier's own forest is bit-identical to in-process inference --
+// same frames, same digest -- at every (shards, num_threads) grid point.
+TEST(RpcFleet, LoopbackRemoteBitIdenticalToLocalAcrossGrid) {
+  const core::LibraClassifier clf = make_classifier();
+  constexpr std::uint64_t kSeed = 77;
+  const sim::FleetResult local = run_station_fleet(&clf, kSeed);
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(clf.forest());
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  ccfg.deadline_ms = 5000.0;  // generous: CI machines stall
+  rpc::RemoteBackend backend(ccfg);
+
+  const struct {
+    int shards;
+    int threads;
+  } grid[] = {{0, 1}, {1, 1}, {3, 2}, {2, 4}};
+  for (const auto& g : grid) {
+    const sim::FleetResult remote =
+        run_station_fleet(&clf, kSeed, &backend, g.shards, g.threads);
+    SCOPED_TRACE("shards=" + std::to_string(g.shards) +
+                 " threads=" + std::to_string(g.threads));
+    expect_frame_logs_identical(local, remote);
+  }
+  server.stop();
+}
+
+// ---------- fleet integration: outage degradation ----------
+
+// A backend that is dead from frame 0 (nothing ever listened on the
+// socket) must degrade exactly like a 100% classifier outage: the rung-2
+// check fires at plan time, no jitter draws are consumed, and the frames
+// are bit-identical. faults_test proves the outage run in turn equals the
+// RA-first heuristic, closing the chain remote-dead == RA-first.
+TEST(RpcFleet, DeadBackendFromStartEqualsFullClassifierOutage) {
+  constexpr std::uint64_t kSeed = 77;
+
+  core::LibraClassifier outage_clf = make_classifier();
+  faults::FaultPlan outage;
+  outage.seed = 5;
+  outage.add(faults::FaultKind::kClassifierOutage, 1.0);
+  const sim::FleetResult outaged =
+      run_station_fleet(&outage_clf, kSeed, nullptr, 0, 1, outage);
+
+  rpc::ClientConfig dead;
+  dead.unix_socket = unique_socket_path();  // never bound
+  dead.deadline_ms = 50.0;
+  rpc::RemoteBackend backend(dead);
+  core::LibraClassifier remote_clf = make_classifier();
+  remote_clf.set_backend(&backend);  // plan-time transport check sees it
+  const sim::FleetResult degraded = run_station_fleet(&remote_clf, kSeed);
+
+  expect_frame_logs_identical(outaged, degraded);
+#if LIBRA_OBS_ENABLED
+  const auto* fallbacks =
+      degraded.metrics.find_counter("rpc.outage_fallbacks");
+  ASSERT_NE(fallbacks, nullptr);
+  EXPECT_GT(fallbacks->value, 0u);
+#endif
+}
+
+// 100% kRpcDrop against a live loopback backend must be frame-identical to
+// 100% kClassifierOutage: both fire the same rung-2 check at plan time and
+// neither consumes a fault draw (probability >= 1 windows are free), so
+// the transport fault is indistinguishable from an inference outage.
+TEST(RpcFleet, FullRpcDropEqualsFullClassifierOutage) {
+  constexpr std::uint64_t kSeed = 77;
+  constexpr std::uint64_t kFaultSeed = 5;
+
+  core::LibraClassifier outage_clf = make_classifier();
+  faults::FaultPlan outage;
+  outage.seed = kFaultSeed;
+  outage.add(faults::FaultKind::kClassifierOutage, 1.0);
+  const sim::FleetResult outaged =
+      run_station_fleet(&outage_clf, kSeed, nullptr, 0, 1, outage);
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  core::LibraClassifier remote_clf = make_classifier();
+  server.set_forest(remote_clf.forest());
+  server.start();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::RemoteBackend backend(ccfg);
+  remote_clf.set_backend(&backend);
+
+  faults::FaultPlan drop;
+  drop.seed = kFaultSeed;
+  drop.add(faults::FaultKind::kRpcDrop, 1.0);
+  const sim::FleetResult dropped =
+      run_station_fleet(&remote_clf, kSeed, nullptr, 0, 1, drop);
+  server.stop();
+
+  expect_frame_logs_identical(outaged, dropped);
+}
+
+// An RPC delay at or past the deadline is an outage; below it, nothing
+// changes (only telemetry notices).
+TEST(RpcFleet, RpcDelayPastDeadlineIsAnOutageBelowItIsNot) {
+  constexpr std::uint64_t kSeed = 77;
+  constexpr std::uint64_t kFaultSeed = 5;
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  core::LibraClassifier clf = make_classifier();
+  server.set_forest(clf.forest());
+  server.start();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  ccfg.deadline_ms = 250.0;
+  rpc::RemoteBackend backend(ccfg);
+  clf.set_backend(&backend);
+
+  // Slow (at the deadline) == a full classifier outage.
+  core::LibraClassifier outage_clf = make_classifier();
+  faults::FaultPlan outage;
+  outage.seed = kFaultSeed;
+  outage.add(faults::FaultKind::kClassifierOutage, 1.0);
+  const sim::FleetResult outaged =
+      run_station_fleet(&outage_clf, kSeed, nullptr, 0, 1, outage);
+
+  faults::FaultPlan slow;
+  slow.seed = kFaultSeed;
+  slow.add(faults::FaultKind::kRpcDelay, 1.0, 0.0, faults::kForever,
+           /*magnitude=*/250.0);
+  const sim::FleetResult delayed =
+      run_station_fleet(&clf, kSeed, nullptr, 0, 1, slow);
+  expect_frame_logs_identical(outaged, delayed);
+
+  // Fast (under the deadline) == a clean loopback run.
+  const sim::FleetResult clean = run_station_fleet(&clf, kSeed);
+  faults::FaultPlan mild;
+  mild.seed = kFaultSeed;
+  mild.add(faults::FaultKind::kRpcDelay, 1.0, 0.0, faults::kForever,
+           /*magnitude=*/10.0);
+  const sim::FleetResult mildly_delayed =
+      run_station_fleet(&clf, kSeed, nullptr, 0, 1, mild);
+  server.stop();
+  expect_frame_logs_identical(clean, mildly_delayed);
+}
+
+// Kill the daemon under a fleet that is mid-run via FleetConfig::backend:
+// the decide-phase BackendOutageError path substitutes every affected
+// row's plan-time fallback verdict. The run must complete every link, not
+// crash, count its fallbacks, and stay deterministic (two identical
+// dead-server runs produce the same digest).
+TEST(RpcFleet, ServerKilledBeforeDecideDegradesAndStaysDeterministic) {
+  constexpr std::uint64_t kSeed = 77;
+  const core::LibraClassifier clf = make_classifier();
+
+  auto run_against_killed_server = [&] {
+    rpc::ServerConfig scfg;
+    scfg.unix_socket = unique_socket_path();
+    rpc::DecisionServer server(scfg);
+    server.set_forest(clf.forest());
+    server.start();
+    rpc::ClientConfig ccfg;
+    ccfg.unix_socket = scfg.unix_socket;
+    ccfg.deadline_ms = 100.0;
+    rpc::RemoteBackend backend(ccfg);
+    // Establish the connection the fleet will try to use, then kill the
+    // daemon: every classify hits a dead socket at decide time -- the
+    // rung-2 check cannot pre-empt it because FleetConfig::backend is
+    // invisible at plan time (that asymmetry is the point of this test).
+    EXPECT_TRUE(backend.available());
+    server.stop();
+    return run_station_fleet(&clf, kSeed, &backend);
+  };
+
+#if LIBRA_OBS_ENABLED
+  // Keep the snapshot alive: find_counter returns a pointer into it.
+  const obs::MetricsSnapshot snap_before = obs::Registry::global().snapshot();
+  const auto* before = snap_before.find_counter("rpc.outage_fallbacks");
+  const std::uint64_t fallbacks_before =
+      before != nullptr ? before->value : 0;
+#endif
+  const sim::FleetResult first = run_against_killed_server();
+  EXPECT_GT(first.batched_rows, 0);
+  const sim::FleetResult second = run_against_killed_server();
+  ASSERT_EQ(first.links.size(), 4u);
+  for (const sim::SessionResult& link : first.links) {
+    EXPECT_GT(link.frames, 0);
+  }
+  expect_frame_logs_identical(first, second);
+#if LIBRA_OBS_ENABLED
+  const obs::MetricsSnapshot snap_after = obs::Registry::global().snapshot();
+  const auto* after = snap_after.find_counter("rpc.outage_fallbacks");
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->value, fallbacks_before);
+#endif
+}
+
+}  // namespace
+}  // namespace libra

@@ -290,6 +290,32 @@ TEST(CliArgs, NumberFallsBackWhenAbsentAndThrowsWhenGarbage) {
   EXPECT_THROW(args.number("name", 0.0), std::invalid_argument);
 }
 
+TEST(CliArgs, RequireKnownRejectsUnrecognizedOptions) {
+  const char* argv[] = {"prog", "--sokcet", "/tmp/x", "--port", "9", "in.ds"};
+  const CliArgs args = CliArgs::parse(6, argv);
+  // The typo'd option must fail loudly, naming itself...
+  try {
+    args.require_known({"socket", "port"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--sokcet"), std::string::npos);
+  }
+  // ...and the exact spelling must pass (positionals are never options).
+  EXPECT_NO_THROW(args.require_known({"sokcet", "port"}));
+  // Multiple unknowns are all reported in one shot.
+  try {
+    args.require_known({"frames"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--sokcet"), std::string::npos);
+    EXPECT_NE(what.find("--port"), std::string::npos);
+  }
+  // No options at all is trivially fine.
+  const char* bare[] = {"prog", "a", "b"};
+  EXPECT_NO_THROW(CliArgs::parse(3, bare).require_known({}));
+}
+
 TEST(CliArgs, LooksNumeric) {
   EXPECT_TRUE(looks_numeric("-1"));
   EXPECT_TRUE(looks_numeric("3.25"));

@@ -13,6 +13,10 @@
 //       Dump the labeled feature matrix as CSV to stdout.
 //   libra simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] [--flow MS]
 //       Trace-driven comparison of all five strategies (Sec. 8 style).
+//   libra serve <forest> --socket PATH | --port N [--host H] [--workers N]
+//       Run the inference daemon: serve batched classify RPCs for the
+//       saved forest until SIGINT/SIGTERM (ROADMAP item 2, the
+//       controller/minion split).
 //
 // `collect` and `simulate` additionally take telemetry flags:
 //   --metrics          print a Prometheus-format scrape of the run's
@@ -23,7 +27,16 @@
 //   --faults SEED      run the fleet stage under the demo fault schedule
 //                      (faults::demo_plan seeded from SEED) and report how
 //                      many faults were injected
+//   --backend remote:ADDR
+//                      serve the fleet stage's decide phase through a
+//                      running `libra serve` daemon (unix:PATH, /path, or
+//                      HOST:PORT). The trained forest is pushed to the
+//                      daemon first, so a loopback run is bit-identical to
+//                      local -- the printed fleet digest proves it.
+// Unrecognized options fail any command with exit code 2.
+#include <csignal>
 #include <cstdio>
+#include <ctime>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -39,8 +52,11 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "phy/error_model.h"
+#include "rpc/client.h"
+#include "rpc/server.h"
 #include "sim/event_sim.h"
 #include "sim/fleet.h"
+#include "sim/golden.h"
 #include "trace/io.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -88,6 +104,8 @@ ml::DataSet to_ml(const std::vector<trace::LabeledEntry>& entries,
 }
 
 int cmd_collect(const Args& args) {
+  args.require_known({"testing", "seed", "frames", "no-na", "metrics",
+                      "trace-out"});
   if (args.positional.empty()) {
     std::fprintf(stderr, "usage: libra collect <out.ds> [--testing]\n");
     return 2;
@@ -112,6 +130,7 @@ int cmd_collect(const Args& args) {
 }
 
 int cmd_summarize(const Args& args) {
+  args.require_known({"alpha", "fat", "ba"});
   if (args.positional.empty()) {
     std::fprintf(stderr, "usage: libra summarize <ds>\n");
     return 2;
@@ -133,6 +152,7 @@ int cmd_summarize(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  args.require_known({"three-class", "trees", "seed", "alpha", "fat", "ba"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra train <ds> <out.forest>\n");
     return 2;
@@ -155,6 +175,7 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_eval(const Args& args) {
+  args.require_known({"three-class", "alpha", "fat", "ba"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra eval <forest> <ds>\n");
     return 2;
@@ -184,6 +205,7 @@ int cmd_eval(const Args& args) {
 }
 
 int cmd_export_csv(const Args& args) {
+  args.require_known({"alpha", "fat", "ba"});
   if (args.positional.empty()) {
     std::fprintf(stderr, "usage: libra export-csv <ds>\n");
     return 2;
@@ -198,7 +220,8 @@ int cmd_export_csv(const Args& args) {
 // classifier through a small lockstep fleet too -- the scrape and trace
 // then cover gather/decide/scatter and batched inference as deployed.
 void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
-                     const faults::FaultPlan* faults_plan = nullptr) {
+                     const faults::FaultPlan* faults_plan = nullptr,
+                     core::DecisionBackend* backend = nullptr) {
   constexpr int kStations = 4;
   phy::McsTable table;
   phy::ErrorModel em(&table);
@@ -235,11 +258,20 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
 
   sim::FleetConfig cfg;
   cfg.seed = seed;
+  cfg.keep_frame_logs = true;  // feeds the digest below
+  cfg.backend = backend;
   if (faults_plan != nullptr) cfg.faults = *faults_plan;
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
   std::printf("fleet stage: %d stations, %lld ticks, %lld batched rows\n",
               kStations, static_cast<long long>(result.ticks),
               static_cast<long long>(result.batched_rows));
+  // The frame-log fold: identical decisions (local vs remote loopback, any
+  // shard/thread grid) print identical digests. CI greps this line.
+  std::printf("fleet digest: 0x%016llx (backend=%s)\n",
+              static_cast<unsigned long long>(
+                  sim::degradation_digest(result)),
+              backend != nullptr ? std::string(backend->name()).c_str()
+                                 : "local");
   if (faults_plan != nullptr) {
     const auto* injected = result.metrics.find_counter("faults.injected");
     std::printf("fault stage: plan seed %llu, %llu faults injected "
@@ -251,6 +283,8 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
 }
 
 int cmd_simulate(const Args& args) {
+  args.require_known({"ba", "fat", "flow", "alpha", "seed", "metrics",
+                      "trace-out", "faults", "backend"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra simulate <train.ds> <eval.ds>\n");
     return 2;
@@ -289,18 +323,99 @@ int cmd_simulate(const Args& args) {
   std::fputs(t.to_string().c_str(), stdout);
   // --faults SEED runs the fleet stage under the demo fault schedule
   // (faults::demo_plan) seeded from SEED: the quickest way to watch the
-  // degradation ladder fire outside the test suite.
+  // degradation ladder fire outside the test suite. --backend remote:ADDR
+  // forces the fleet stage and serves its decide phase through a running
+  // `libra serve` daemon.
+  const std::string backend_spec = args.str("backend");
   if (args.flag("metrics") || !args.str("trace-out").empty() ||
-      args.flag("faults")) {
+      args.flag("faults") || !backend_spec.empty()) {
     std::optional<faults::FaultPlan> plan;
     if (args.flag("faults")) {
       plan = faults::demo_plan(
           static_cast<std::uint64_t>(args.number("faults", 1)));
     }
+    std::optional<rpc::RemoteBackend> remote;
+    if (!backend_spec.empty()) {
+      if (backend_spec.rfind("remote:", 0) != 0) {
+        std::fprintf(stderr,
+                     "error: --backend expects remote:ADDR, got '%s'\n",
+                     backend_spec.c_str());
+        return 2;
+      }
+      remote.emplace(rpc::parse_remote_addr(backend_spec.substr(7)));
+      // Push the freshly trained forest so the daemon serves the exact
+      // model this process would use locally -- the precondition for the
+      // digest line below matching a --backend-less run. A dead daemon is
+      // not an error: the fleet degrades through the rung-2 fallback.
+      const std::optional<rpc::AckMsg> ack =
+          remote->client().push_model(classifier.forest());
+      if (!ack.has_value()) {
+        std::fprintf(stderr,
+                     "warning: daemon %s unreachable; fleet stage will run "
+                     "degraded (RA-first fallback)\n",
+                     remote->client().address().c_str());
+      } else if (!ack->ok) {
+        std::fprintf(stderr, "error: daemon rejected the model: %s\n",
+                     ack->message.c_str());
+        return 1;
+      } else {
+        std::printf("pushed %d-tree forest to %s\n",
+                    static_cast<int>(classifier.forest().trees().size()),
+                    remote->client().address().c_str());
+      }
+    }
     run_fleet_stage(classifier,
                     static_cast<std::uint64_t>(args.number("seed", 1)),
-                    plan ? &*plan : nullptr);
+                    plan ? &*plan : nullptr,
+                    remote ? &*remote : nullptr);
   }
+  dump_telemetry(args);
+  return 0;
+}
+
+// SIGINT/SIGTERM -> clean daemon shutdown (flag checked by the serve loop).
+volatile std::sig_atomic_t g_stop_requested = 0;
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(const Args& args) {
+  args.require_known({"socket", "port", "host", "workers", "metrics",
+                      "trace-out"});
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: libra serve <forest> --socket PATH | --port N "
+                 "[--host H] [--workers N] [--metrics]\n");
+    return 2;
+  }
+  const ml::RandomForest forest = ml::load_forest_file(args.positional[0]);
+  rpc::ServerConfig cfg;
+  cfg.unix_socket = args.str("socket");
+  cfg.host = args.str("host", "127.0.0.1");
+  cfg.port = static_cast<int>(args.number("port", 0));
+  cfg.num_workers = static_cast<int>(args.number("workers", 4));
+  if (cfg.unix_socket.empty() && !args.flag("port")) {
+    std::fprintf(stderr,
+                 "error: serve needs --socket PATH or --port N (0 picks an "
+                 "ephemeral port)\n");
+    return 2;
+  }
+  rpc::DecisionServer server(cfg);
+  server.set_forest(forest);
+  server.start();
+  std::printf("serving %d-tree forest on %s (%d workers)\n",
+              static_cast<int>(forest.trees().size()), server.address().c_str(),
+              cfg.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    // The accept/handler threads do all the work; this thread only waits
+    // for a stop signal (sleep via sigtimedwait-free portable polling).
+    struct timespec ts {0, 100 * 1000 * 1000};  // 100 ms
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down %s\n", server.address().c_str());
+  server.stop();
   dump_telemetry(args);
   return 0;
 }
@@ -316,7 +431,10 @@ void usage() {
                "  export-csv <ds>\n"
                "  simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] "
                "[--flow MS]\n"
-               "            [--metrics] [--trace-out FILE] [--faults SEED]\n");
+               "            [--metrics] [--trace-out FILE] [--faults SEED]\n"
+               "            [--backend remote:ADDR]\n"
+               "  serve <forest> --socket PATH | --port N [--host H]\n"
+               "            [--workers N] [--metrics]\n");
 }
 
 }  // namespace
@@ -335,6 +453,10 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "export-csv") return cmd_export_csv(args);
     if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "serve") return cmd_serve(args);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
