@@ -8,8 +8,11 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/classifier.h"
 #include "env/registry.h"
@@ -19,7 +22,9 @@
 #include "ml/decision_tree.h"
 #include "ml/neural_net.h"
 #include "ml/random_forest.h"
+#include "obs/aggregate.h"
 #include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "obs/span.h"
 #include "util/thread_pool.h"
 #include "phy/error_model.h"
@@ -513,6 +518,84 @@ void BM_ObsOverhead(benchmark::State& state) {
   obs::TraceBuffer::global().clear();  // don't pollute later exports
 }
 BENCHMARK(BM_ObsOverhead)->Arg(0)->Arg(1);
+
+// One aggregator roll-up: snapshot the (well-populated, by this point in
+// the bench binary) process registry, poll one synthetic daemon source,
+// and fold both into the ring series. This is the periodic cost the
+// background thread pays every rollup_period_ms on `libra serve`.
+void BM_AggregatorRollup(benchmark::State& state) {
+  obs::AggregatorConfig cfg;
+  cfg.rollup_period_ms = 1e9;  // driven manually; the thread never fires
+  obs::Aggregator agg(cfg);
+  const obs::MetricsSnapshot remote = obs::Registry::global().snapshot();
+  agg.add_source([&remote]() -> std::optional<obs::LabeledSnapshot> {
+    return obs::LabeledSnapshot{"daemon", remote};
+  });
+  for (auto _ : state) {
+    agg.rollup_now();
+  }
+  state.counters["series_bytes"] =
+      static_cast<double>(agg.prometheus_text().size());
+}
+BENCHMARK(BM_AggregatorRollup)->Unit(benchmark::kMicrosecond);
+
+// A full /metrics scrape -- HTTP round trip plus Prometheus rendering --
+// while `writers` threads hammer a counter and a histogram. Arg = writer
+// count (0 = quiescent registry). The scrape path must stay flat under
+// write load: recording is wait-free and rendering reads the aggregator's
+// rings, not the live shards.
+void BM_ScrapeUnderLoad(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  obs::AggregatorConfig acfg;
+  acfg.rollup_period_ms = 5.0;
+  obs::Aggregator agg(acfg);
+  agg.rollup_now();
+  agg.start();
+  obs::ScrapeServer server(agg);  // ephemeral port
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int w = 0; w < writers; ++w) {
+    load.emplace_back([&stop, w] {
+      obs::Counter& c =
+          obs::Registry::global().counter("bench.scrape_load.count");
+      obs::Histogram& h =
+          obs::Registry::global().histogram("bench.scrape_load.value");
+      double v = static_cast<double>(w);
+      while (!stop.load(std::memory_order_acquire)) {
+        c.inc();
+        h.observe(v);
+        v += 1.0;
+      }
+    });
+  }
+
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const std::optional<obs::HttpResponse> resp =
+        obs::http_get("127.0.0.1", server.port(), "/metrics");
+    if (!resp.has_value() || resp->status != 200) {
+      state.SkipWithError("loopback scrape failed");
+      break;
+    }
+    bytes += static_cast<double>(resp->body.size());
+    benchmark::DoNotOptimize(resp->body);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : load) t.join();
+  server.stop();
+  agg.stop();
+  if (state.iterations() > 0) {
+    state.counters["scrape_bytes"] =
+        bytes / static_cast<double>(state.iterations());
+  }
+}
+BENCHMARK(BM_ScrapeUnderLoad)
+    ->Arg(0)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 void BM_RayTraceLobby(benchmark::State& state) {
   const env::Environment lobby = env::make_lobby();

@@ -22,6 +22,7 @@
 // dead-from-start remote fleet frame-identical to the RA-first heuristic.
 #pragma once
 
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -39,6 +40,13 @@ class BackendOutageError : public std::runtime_error {
  public:
   explicit BackendOutageError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+// A remote peer's cumulative metrics snapshot, labeled with the origin it
+// should appear under in a merged scrape ("daemon", ...).
+struct PeerStats {
+  std::string origin;
+  obs::MetricsSnapshot snapshot;
 };
 
 class DecisionBackend {
@@ -59,6 +67,11 @@ class DecisionBackend {
   // Per-request deadline in ms -- an injected kRpcDelay of at least this
   // magnitude counts as an outage. Infinity for local backends.
   virtual double deadline_ms() const = 0;
+
+  // The peer process's metrics snapshot for the fleet aggregator's merged
+  // scrape. Local backends have no peer: the default is nullopt, which is
+  // also what a remote backend answers during an outage.
+  virtual std::optional<PeerStats> peer_stats() { return std::nullopt; }
 
   // Per-class vote fractions for every row, in row order. Throws
   // BackendOutageError when the backend cannot answer.

@@ -42,6 +42,38 @@ double HistogramData::quantile(double q) const {
   return max;
 }
 
+void HistogramData::merge(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramData HistogramData::delta_since(const HistogramData& earlier) const {
+  // A lower current count means the source restarted; report the current
+  // cumulative view as the window instead of a wrapped subtraction.
+  if (count < earlier.count) return *this;
+  HistogramData d;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    d.buckets[b] =
+        buckets[b] >= earlier.buckets[b] ? buckets[b] - earlier.buckets[b] : 0;
+  }
+  d.count = count - earlier.count;
+  d.sum = sum - earlier.sum;
+  d.min = min;
+  d.max = max;
+  return d;
+}
+
 // ---------------------------------------------------------------------------
 // Registry internals
 
@@ -209,18 +241,17 @@ MetricsSnapshot Registry::snapshot() const {
     }
     for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
       const detail::HistShard& hs = shard->hists[i];
-      HistogramData& d = snap.histograms[i].data;
       const std::uint64_t n = hs.count.load(std::memory_order_relaxed);
       if (n == 0) continue;
+      HistogramData view;
       for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
-        d.buckets[b] += hs.buckets[b].load(std::memory_order_relaxed);
+        view.buckets[b] = hs.buckets[b].load(std::memory_order_relaxed);
       }
-      const double mn = hs.min.load(std::memory_order_relaxed);
-      const double mx = hs.max.load(std::memory_order_relaxed);
-      if (d.count == 0 || mn < d.min) d.min = mn;
-      if (d.count == 0 || mx > d.max) d.max = mx;
-      d.count += n;
-      d.sum += hs.sum.load(std::memory_order_relaxed);
+      view.count = n;
+      view.sum = hs.sum.load(std::memory_order_relaxed);
+      view.min = hs.min.load(std::memory_order_relaxed);
+      view.max = hs.max.load(std::memory_order_relaxed);
+      snap.histograms[i].data.merge(view);
     }
   }
   return snap;
@@ -245,6 +276,22 @@ void Registry::reset() {
 
 // ---------------------------------------------------------------------------
 // Snapshot lookups and exporters
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (CounterValue& c : d.counters) {
+    if (const CounterValue* prev = earlier.find_counter(c.name)) {
+      c.value = c.value >= prev->value ? c.value - prev->value : c.value;
+    }
+  }
+  for (HistogramValue& h : d.histograms) {
+    if (const HistogramValue* prev = earlier.find_histogram(h.name)) {
+      h.data = h.data.delta_since(prev->data);
+    }
+  }
+  return d;
+}
 
 const MetricsSnapshot::CounterValue* MetricsSnapshot::find_counter(
     std::string_view name) const {
@@ -278,17 +325,6 @@ std::string format_double(double v) {
   return buf;
 }
 
-// Prometheus metric name: libra_ prefix, [a-zA-Z0-9_] body.
-std::string prom_name(const std::string& name) {
-  std::string out = "libra_";
-  for (char c : name) {
-    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9');
-    out.push_back(ok ? c : '_');
-  }
-  return out;
-}
-
 std::string json_escape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -307,6 +343,31 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+std::string prom_metric_name(std::string_view name) {
+  std::string out = "libra_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 
 std::string MetricsSnapshot::to_text() const {
   std::ostringstream os;
@@ -368,18 +429,22 @@ std::string MetricsSnapshot::to_json() const {
 std::string MetricsSnapshot::to_prometheus() const {
   std::ostringstream os;
   for (const CounterValue& c : counters) {
-    const std::string n = prom_name(c.name);
-    os << "# TYPE " << n << " counter\n" << n << " " << c.value << "\n";
+    const std::string n = prom_metric_name(c.name);
+    os << "# HELP " << n << " " << c.name << "\n"
+       << "# TYPE " << n << " counter\n"
+       << n << " " << c.value << "\n";
   }
   for (const GaugeValue& g : gauges) {
-    const std::string n = prom_name(g.name);
-    os << "# TYPE " << n << " gauge\n"
+    const std::string n = prom_metric_name(g.name);
+    os << "# HELP " << n << " " << g.name << "\n"
+       << "# TYPE " << n << " gauge\n"
        << n << " " << format_double(g.value) << "\n";
   }
   for (const HistogramValue& h : histograms) {
-    const std::string n = prom_name(h.name);
+    const std::string n = prom_metric_name(h.name);
     const HistogramData& d = h.data;
-    os << "# TYPE " << n << " histogram\n";
+    os << "# HELP " << n << " " << h.name << "\n"
+       << "# TYPE " << n << " histogram\n";
     std::uint64_t cumulative = 0;
     std::size_t last = kHistogramBuckets;
     while (last > 1 && d.buckets[last - 1] == 0) --last;

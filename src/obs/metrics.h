@@ -119,6 +119,19 @@ struct HistogramData {
   // Quantile estimate from the buckets (linear interpolation inside the
   // winning bucket, clamped to [min, max]); q in [0, 1].
   double quantile(double q) const;
+
+  // Fold `other` into this histogram. An empty side is the identity, bucket
+  // and count adds are exact integer sums, and min/max are true extrema, so
+  // merging shard views in any order (or any grouping) yields the same
+  // result -- the associativity contract Registry::snapshot() and
+  // obs::Aggregator rely on. (The fp `sum` is the one field where grouping
+  // can differ in the last ulp; integer-valued samples merge exactly.)
+  void merge(const HistogramData& other);
+  // Windowed view of this cumulative histogram since `earlier`: bucket and
+  // count deltas saturate at zero (a restarted source yields its current
+  // values rather than wrapping). min/max cannot be recovered for a window
+  // from cumulative extrema, so they stay lifetime extrema.
+  HistogramData delta_since(const HistogramData& earlier) const;
 };
 
 // Point-in-time scrape of every registered metric, detached from the
@@ -145,15 +158,30 @@ struct MetricsSnapshot {
   const GaugeValue* find_gauge(std::string_view name) const;
   const HistogramValue* find_histogram(std::string_view name) const;
 
+  // What happened since `earlier`: counters and histogram buckets are
+  // saturating-subtracted (a source that reset reports its current values
+  // rather than a wrapped delta), gauges keep their current value, and
+  // metrics registered since `earlier` pass through unchanged.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
+
   // Human-readable multi-line dump (the `--metrics` default).
   std::string to_text() const;
   // One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;
   // Prometheus exposition format: names are prefixed "libra_" and dots
   // become underscores; histograms emit cumulative `_bucket{le="..."}`
-  // series plus `_sum` and `_count`.
+  // series plus `_sum` and `_count`. Every metric gets `# HELP` / `# TYPE`
+  // header lines.
   std::string to_prometheus() const;
 };
+
+// Prometheus metric name sanitizer: "libra_" prefix, [a-zA-Z0-9_] body
+// (every other byte becomes '_'). Shared by to_prometheus() and the
+// aggregator's merged multi-origin exposition.
+std::string prom_metric_name(std::string_view name);
+// Escape a label value per the exposition format: backslash, double quote
+// and newline are escaped.
+std::string prom_escape_label(std::string_view value);
 
 // A named monotonically increasing counter. Wait-free inc on the calling
 // thread's shard.

@@ -4,10 +4,12 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace libra::obs {
@@ -20,12 +22,47 @@ std::uint64_t trace_now_us() {
           .count());
 }
 
+std::uint64_t next_trace_id() {
+  // Salted per process (pid-ish entropy from the heap + clock) so ids from
+  // a controller and a daemon never collide in a merged export. The low
+  // bits stay a plain counter: allocation is one relaxed fetch_add.
+  static const char g_salt_anchor = 0;
+  static std::atomic<std::uint64_t> g_next_id{[] {
+    std::uint64_t salt = 0xcbf29ce484222325ull;
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    const auto where = reinterpret_cast<std::uintptr_t>(&g_salt_anchor);
+    for (std::uint64_t v : {now, static_cast<std::uint64_t>(where)}) {
+      for (int i = 0; i < 8; ++i) {
+        salt ^= (v >> (8 * i)) & 0xff;
+        salt *= 0x100000001b3ull;
+      }
+    }
+    return (salt << 20) | 1u;  // never zero, ~2^20 ids before salt bits mix
+  }()};
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx)
+    : saved_(detail::t_trace_ctx) {
+  detail::t_trace_ctx = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { detail::t_trace_ctx = saved_; }
+
 namespace {
+
+std::mutex g_process_mu;
+std::uint32_t g_process_pid = 1;
+std::string g_process_name;
 
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
 };
 
 // One thread's ring. Only the owner writes events and publishes `head`
@@ -76,14 +113,24 @@ TraceBuffer& TraceBuffer::global() {
 }
 
 void TraceBuffer::record(const char* name, std::uint64_t ts_us,
-                         std::uint64_t dur_us) {
+                         std::uint64_t dur_us, std::uint64_t trace_id,
+                         std::uint64_t span_id, std::uint64_t parent_id) {
   Ring& ring = impl_->local_ring();
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
   TraceEvent& slot = ring.events[head % kTraceRingCapacity];
   slot.name = name;
   slot.ts_us = ts_us;
   slot.dur_us = dur_us;
+  slot.trace_id = trace_id;
+  slot.span_id = span_id;
+  slot.parent_id = parent_id;
   ring.head.store(head + 1, std::memory_order_release);
+}
+
+void set_trace_process(std::uint32_t pid, std::string name) {
+  std::lock_guard<std::mutex> lock(g_process_mu);
+  g_process_pid = pid;
+  g_process_name = std::move(name);
 }
 
 std::size_t TraceBuffer::event_count() const {
@@ -103,10 +150,33 @@ void TraceBuffer::clear() {
   }
 }
 
+namespace {
+
+std::string hex_id(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
 std::string TraceBuffer::to_chrome_json() const {
+  std::uint32_t pid;
+  std::string pname;
+  {
+    std::lock_guard<std::mutex> lock(g_process_mu);
+    pid = g_process_pid;
+    pname = g_process_name;
+  }
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
+  if (!pname.empty()) {
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << pname << "\"}}";
+    first = false;
+  }
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (const std::shared_ptr<Ring>& ring : impl_->rings) {
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
@@ -120,11 +190,44 @@ std::string TraceBuffer::to_chrome_json() const {
       first = false;
       os << "{\"name\":\"" << e.name << "\",\"cat\":\"libra\",\"ph\":\"X\""
          << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
-         << ",\"pid\":1,\"tid\":" << ring->tid << "}";
+         << ",\"pid\":" << pid << ",\"tid\":" << ring->tid;
+      if (e.trace_id != 0) {
+        os << ",\"args\":{\"trace\":\"" << hex_id(e.trace_id)
+           << "\",\"span\":\"" << hex_id(e.span_id) << "\",\"parent\":\""
+           << hex_id(e.parent_id) << "\"}";
+      }
+      os << "}";
     }
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
+}
+
+std::string merge_chrome_json(const std::vector<std::string>& docs) {
+  // Every input is "{\"traceEvents\":[ ... ],\"displayTimeUnit\":\"ms\"}"
+  // (this file's own exporter), so merging is slicing out the array bodies
+  // and joining them.
+  static constexpr std::string_view kPrefix = "{\"traceEvents\":[";
+  static constexpr std::string_view kSuffix = "],\"displayTimeUnit\":\"ms\"}";
+  std::string out(kPrefix);
+  bool first = true;
+  for (const std::string& doc : docs) {
+    if (doc.size() < kPrefix.size() + kSuffix.size() ||
+        doc.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        doc.compare(doc.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      throw std::runtime_error(
+          "obs: merge_chrome_json input is not a to_chrome_json document");
+    }
+    const std::string_view body = std::string_view(doc).substr(
+        kPrefix.size(), doc.size() - kPrefix.size() - kSuffix.size());
+    if (body.empty()) continue;
+    if (!first) out += ",";
+    first = false;
+    out += body;
+  }
+  out += kSuffix;
+  return out;
 }
 
 void TraceBuffer::write_chrome_json(const std::string& path) const {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -32,6 +33,53 @@ std::uint64_t trace_now_us();
 // Per-thread ring capacity, in events.
 inline constexpr std::size_t kTraceRingCapacity = 8192;
 
+// Cross-process trace correlation: the (trace id, enclosing span id) pair a
+// caller stamps onto outgoing RPCs so the remote side's spans nest under it
+// in a merged export. trace_id == 0 means "no active trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+namespace detail {
+inline thread_local TraceContext t_trace_ctx;
+}  // namespace detail
+
+// The calling thread's current context: what the next SpanGuard parents
+// under, and what rpc::DecisionClient copies into ClassifyRequest.
+inline TraceContext current_trace() { return detail::t_trace_ctx; }
+
+// Allocate a process-unique, never-zero span/trace id. Ids are salted per
+// process so controller-side and daemon-side allocations don't collide in
+// a merged export.
+std::uint64_t next_trace_id();
+
+// RAII override of the calling thread's context. The rpc server wraps each
+// classify in a scope built from the request's trace fields, so daemon-side
+// spans parent under the controller's decide span. Restores the previous
+// context on destruction.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// Process identity stamped on exported events ("pid" plus a process_name
+// metadata row). Defaults to pid 1, no name; `libra serve` sets pid 2 /
+// "libra-serve" so a merged controller+daemon export keeps distinct rows.
+void set_trace_process(std::uint32_t pid, std::string name);
+
+// Splice several Chrome trace-event documents produced by to_chrome_json()
+// into one (the merged Perfetto export for a multi-process run). Inputs
+// must come from this exporter; this is a structural splice, not a general
+// JSON parser.
+std::string merge_chrome_json(const std::vector<std::string>& docs);
+
 class TraceBuffer {
  public:
   TraceBuffer();
@@ -41,8 +89,11 @@ class TraceBuffer {
 
   static TraceBuffer& global();
 
-  // Record one completed span on the calling thread's ring.
-  void record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+  // Record one completed span on the calling thread's ring. The id triple
+  // is optional (0 = unset) and flows into the exported event's args.
+  void record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us,
+              std::uint64_t trace_id = 0, std::uint64_t span_id = 0,
+              std::uint64_t parent_id = 0);
 
   // Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
   std::string to_chrome_json() const;
@@ -70,6 +121,13 @@ class SpanGuard {
     if (enabled()) {
       name_ = name;
       hist_ = hist;
+      parent_ = detail::t_trace_ctx;
+      span_id_ = next_trace_id();
+      // Root spans open a fresh trace; nested spans (and spans under an
+      // adopted RPC context) continue the caller's.
+      const std::uint64_t trace =
+          parent_.trace_id != 0 ? parent_.trace_id : next_trace_id();
+      detail::t_trace_ctx = {trace, span_id_};
       start_ = trace_now_us();
     }
 #else
@@ -81,7 +139,10 @@ class SpanGuard {
 #if LIBRA_OBS_ENABLED
     if (name_ != nullptr) {
       const std::uint64_t dur = trace_now_us() - start_;
-      TraceBuffer::global().record(name_, start_, dur);
+      TraceBuffer::global().record(name_, start_, dur,
+                                   detail::t_trace_ctx.trace_id, span_id_,
+                                   parent_.span_id);
+      detail::t_trace_ctx = parent_;
       if (hist_ != nullptr) hist_->observe(static_cast<double>(dur));
     }
 #endif
@@ -94,6 +155,8 @@ class SpanGuard {
   const char* name_ = nullptr;
   Histogram* hist_ = nullptr;
   std::uint64_t start_ = 0;
+  std::uint64_t span_id_ = 0;
+  TraceContext parent_;
 #endif
 };
 

@@ -27,6 +27,7 @@ namespace {
 struct ClientMetrics {
   obs::Counter& requests;
   obs::Counter& rows;
+  obs::Counter& retries;
   obs::Counter& reconnects;
   obs::Counter& outages;
   obs::Counter& bytes_tx;
@@ -37,6 +38,7 @@ ClientMetrics& client_metrics() {
   obs::Registry& r = obs::Registry::global();
   static ClientMetrics m{r.counter("rpc.client.requests"),
                          r.counter("rpc.client.rows"),
+                         r.counter("rpc.client.retries"),
                          r.counter("rpc.client.reconnects"),
                          r.counter("rpc.client.outages"),
                          r.counter("rpc.client.bytes_tx"),
@@ -250,6 +252,7 @@ std::optional<Frame> DecisionClient::request_locked(
   if (!reply.has_value() && cfg_.retry_once) {
     // One fresh-connection retry covers the common "server restarted
     // between batches" case without hiding a real outage.
+    client_metrics().retries.inc();
     if (connect_locked()) reply = round_trip_locked(type, payload);
   }
   if (!reply.has_value()) client_metrics().outages.inc();
@@ -278,8 +281,13 @@ bool DecisionClient::ping() {
 std::optional<std::vector<std::vector<double>>> DecisionClient::classify(
     const ml::DataSet& rows) {
   std::lock_guard<std::mutex> lock(mu_);
-  const ClassifyRequestMsg msg =
+  ClassifyRequestMsg msg =
       ClassifyRequestMsg::from_dataset(next_request_id_++, rows);
+  // Stamp the calling thread's trace context so the daemon's handling
+  // spans nest under this decide span in a merged export.
+  const obs::TraceContext ctx = obs::current_trace();
+  msg.trace_id = ctx.trace_id;
+  msg.parent_span_id = ctx.span_id;
   const std::optional<Frame> reply =
       request_locked(MsgType::kClassifyRequest, msg.encode());
   if (!reply.has_value()) return std::nullopt;
@@ -305,6 +313,28 @@ std::optional<std::vector<std::vector<double>>> DecisionClient::classify(
   }
   client_metrics().rows.inc(rows.size());
   return verdicts.to_votes();
+}
+
+std::optional<StatsMsg> DecisionClient::pull_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // StatsPush here is a solicitation: an empty snapshot under our origin,
+  // answered by the server's cumulative StatsAck.
+  StatsMsg msg;
+  msg.request_id = next_request_id_++;
+  msg.origin = "controller";
+  const std::optional<Frame> reply =
+      request_locked(MsgType::kStatsPush, msg.encode());
+  if (!reply.has_value() || reply->type != MsgType::kStatsAck) {
+    return std::nullopt;
+  }
+  try {
+    StatsMsg stats = StatsMsg::decode(reply->payload);
+    if (stats.request_id != msg.request_id) return std::nullopt;
+    return stats;
+  } catch (const WireError&) {
+    close_locked();
+    return std::nullopt;
+  }
 }
 
 std::optional<AckMsg> DecisionClient::push_model(
@@ -336,6 +366,16 @@ bool RemoteBackend::available() {
   // connect() is a no-op when already connected, so this is cheap on the
   // happy path and doubles as the reconnect probe after an outage.
   return client_.connect();
+}
+
+std::optional<core::PeerStats> RemoteBackend::peer_stats() {
+  std::optional<StatsMsg> stats = client_.pull_stats();
+  if (!stats.has_value()) return std::nullopt;
+  core::PeerStats out;
+  out.origin = stats->origin.empty() ? "daemon:" + client_.address()
+                                     : std::move(stats->origin);
+  out.snapshot = std::move(stats->snapshot);
+  return out;
 }
 
 std::vector<std::vector<double>> RemoteBackend::vote_batch(

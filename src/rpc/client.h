@@ -70,6 +70,11 @@ class DecisionClient {
   std::optional<std::vector<std::vector<double>>> classify(
       const ml::DataSet& rows);
 
+  // Solicit the server's cumulative metrics snapshot (StatsPush ->
+  // StatsAck). Returns the daemon's labeled snapshot, or nullopt on
+  // transport failure or a mismatched reply.
+  std::optional<StatsMsg> pull_stats();
+
   // Serialize `forest` (ml/model_io.h text format) and push it. Returns
   // the server's Ack, or nullopt on transport failure.
   std::optional<AckMsg> push_model(const ml::RandomForest& forest);
@@ -112,6 +117,9 @@ class RemoteBackend final : public core::DecisionBackend {
   bool local() const override { return false; }
   bool available() override;
   double deadline_ms() const override { return client_.config().deadline_ms; }
+  // The daemon's cumulative registry snapshot under its origin label (the
+  // obs::Aggregator polls this each roll-up); nullopt during an outage.
+  std::optional<core::PeerStats> peer_stats() override;
   std::vector<std::vector<double>> vote_batch(const ml::DataSet& rows) override;
 
   DecisionClient& client() { return client_; }

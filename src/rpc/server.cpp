@@ -32,8 +32,10 @@ struct ServerMetrics {
   obs::Counter& model_pushes;
   obs::Counter& rejected_models;
   obs::Counter& wire_errors;
+  obs::Counter& stats_pulls;
   obs::Histogram& batch_rows;
   obs::Histogram& handle_us;
+  obs::Histogram& classify_us;
 };
 ServerMetrics& server_metrics() {
   obs::Registry& r = obs::Registry::global();
@@ -45,8 +47,10 @@ ServerMetrics& server_metrics() {
                          r.counter("rpc.server.model_pushes"),
                          r.counter("rpc.server.rejected_models"),
                          r.counter("rpc.server.wire_errors"),
+                         r.counter("rpc.server.stats_pulls"),
                          r.histogram("rpc.server.batch_rows"),
-                         r.histogram("rpc.server.handle_us")};
+                         r.histogram("rpc.server.handle_us"),
+                         r.histogram("rpc.server.classify_us")};
   return m;
 }
 
@@ -300,6 +304,17 @@ Frame DecisionServer::handle(const Frame& request) {
         return handle_classify(request);
       case MsgType::kModelPush:
         return handle_model_push(request);
+      case MsgType::kStatsPush: {
+        // A stats solicitation: validate it, answer with this process's
+        // cumulative registry snapshot under the configured origin label.
+        const StatsMsg push = StatsMsg::decode(request.payload);
+        metrics.stats_pulls.inc();
+        StatsMsg reply;
+        reply.request_id = push.request_id;
+        reply.origin = cfg_.stats_origin;
+        reply.snapshot = obs::Registry::global().snapshot();
+        return {MsgType::kStatsAck, reply.encode()};
+      }
       default: {
         AckMsg nack;
         nack.ok = false;
@@ -322,6 +337,11 @@ Frame DecisionServer::handle(const Frame& request) {
 Frame DecisionServer::handle_classify(const Frame& request) {
   ServerMetrics& metrics = server_metrics();
   const ClassifyRequestMsg msg = ClassifyRequestMsg::decode(request.payload);
+  // Adopt the caller's trace context for the rest of this batch: the
+  // classify span (and everything under it, e.g. forest batch spans)
+  // parents under the controller-side decide span in a merged export.
+  obs::TraceContextScope trace_scope({msg.trace_id, msg.parent_span_id});
+  OBS_SPAN("rpc.server.classify", &metrics.classify_us);
   // Pin the serving model ONCE for the whole batch: a concurrent ModelPush
   // swaps the shared_ptr but can never change which forest these rows ride.
   const std::shared_ptr<const ServingModel> m = model();

@@ -47,6 +47,9 @@ struct ServerConfig {
   // Compilation config for pushed models (ModelPush recompiles on arrival;
   // the default double-threshold mode is the bit-exact one).
   ml::CompiledForestConfig compiled{};
+  // Origin label on StatsAck replies -- the label this daemon's metrics
+  // appear under in the controller's merged scrape.
+  std::string stats_origin = "daemon";
 };
 
 class DecisionServer {

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace libra::rpc {
 
@@ -102,7 +103,32 @@ struct Reader {
 
 bool known_type(std::uint16_t t) {
   return t >= static_cast<std::uint16_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint16_t>(MsgType::kAck);
+         t <= static_cast<std::uint16_t>(MsgType::kStatsAck);
+}
+
+// Shared string codec for the stats messages: u16 length prefix, capped.
+void put_string(Writer& w, const std::string& s, const char* what) {
+  if (s.size() > kMaxStatsNameBytes) {
+    throw WireError(std::string(what) + ": string of " +
+                    std::to_string(s.size()) + " bytes exceeds the cap of " +
+                    std::to_string(kMaxStatsNameBytes));
+  }
+  w.u16(static_cast<std::uint16_t>(s.size()));
+  w.bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+std::string get_string(Reader& r, const char* what) {
+  const std::uint64_t len = r.u16();
+  if (len > kMaxStatsNameBytes) {
+    throw WireError(std::string(what) + ": string-length claim of " +
+                    std::to_string(len) + " bytes exceeds the cap of " +
+                    std::to_string(kMaxStatsNameBytes));
+  }
+  const std::span<const std::uint8_t> b =
+      r.bytes(static_cast<std::size_t>(len));
+  return b.empty()
+             ? std::string()
+             : std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
 }  // namespace
@@ -116,6 +142,8 @@ std::string_view to_string(MsgType type) {
     case MsgType::kVerdictReply: return "VerdictReply";
     case MsgType::kModelPush: return "ModelPush";
     case MsgType::kAck: return "Ack";
+    case MsgType::kStatsPush: return "StatsPush";
+    case MsgType::kStatsAck: return "StatsAck";
   }
   return "unknown";
 }
@@ -256,8 +284,10 @@ std::vector<std::uint8_t> ClassifyRequestMsg::encode() const {
                     " -- split the batch, truncation would corrupt verdicts");
   }
   Writer w;
-  w.out.reserve(16 + rows.size() * 8);
+  w.out.reserve(32 + rows.size() * 8);
   w.u64(request_id);
+  w.u64(trace_id);
+  w.u64(parent_span_id);
   w.u32(static_cast<std::uint32_t>(n_rows));
   w.u32(row_dim);
   for (const double v : rows) w.f64(v);
@@ -269,6 +299,8 @@ ClassifyRequestMsg ClassifyRequestMsg::decode(
   Reader r(payload, "ClassifyRequest");
   ClassifyRequestMsg m;
   m.request_id = r.u64();
+  m.trace_id = r.u64();
+  m.parent_span_id = r.u64();
   const std::uint64_t n_rows = r.u32();
   m.row_dim = r.u32();
   if (n_rows > kMaxBatchRows) {
@@ -498,6 +530,113 @@ AckMsg AckMsg::decode(std::span<const std::uint8_t> payload) {
       r.bytes(static_cast<std::size_t>(len));
   if (!text.empty()) {
     m.message.assign(reinterpret_cast<const char*>(text.data()), text.size());
+  }
+  r.expect_done();
+  return m;
+}
+
+// ---------- StatsPush / StatsAck ----------
+
+std::vector<std::uint8_t> StatsMsg::encode() const {
+  if (snapshot.counters.size() > kMaxStatsEntries ||
+      snapshot.gauges.size() > kMaxStatsEntries ||
+      snapshot.histograms.size() > kMaxStatsEntries) {
+    throw WireError("Stats: snapshot exceeds the per-kind entry cap of " +
+                    std::to_string(kMaxStatsEntries));
+  }
+  Writer w;
+  w.u64(request_id);
+  put_string(w, origin, "Stats origin");
+  w.u32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const auto& c : snapshot.counters) {
+    put_string(w, c.name, "Stats counter name");
+    w.u64(c.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const auto& g : snapshot.gauges) {
+    put_string(w, g.name, "Stats gauge name");
+    w.f64(g.value);
+  }
+  w.u32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const auto& h : snapshot.histograms) {
+    put_string(w, h.name, "Stats histogram name");
+    w.u64(h.data.count);
+    w.f64(h.data.sum);
+    w.f64(h.data.min);
+    w.f64(h.data.max);
+    // Trailing all-zero buckets are elided on the wire.
+    std::size_t last = obs::kHistogramBuckets;
+    while (last > 0 && h.data.buckets[last - 1] == 0) --last;
+    w.u32(static_cast<std::uint32_t>(last));
+    for (std::size_t b = 0; b < last; ++b) w.u64(h.data.buckets[b]);
+  }
+  return w.out;
+}
+
+StatsMsg StatsMsg::decode(std::span<const std::uint8_t> payload) {
+  Reader r(payload, "Stats");
+  StatsMsg m;
+  m.request_id = r.u64();
+  m.origin = get_string(r, "Stats origin");
+
+  const std::uint64_t n_counters = r.u32();
+  if (n_counters > kMaxStatsEntries) {
+    throw WireError("Stats: counter-count claim of " +
+                    std::to_string(n_counters) + " exceeds the cap of " +
+                    std::to_string(kMaxStatsEntries));
+  }
+  // Each entry is at least 10 bytes (2-byte length + 8-byte value), so the
+  // claim is sanity-checked against the remaining payload before reserving.
+  r.need(static_cast<std::size_t>(n_counters) * 10);
+  m.snapshot.counters.reserve(static_cast<std::size_t>(n_counters));
+  for (std::uint64_t i = 0; i < n_counters; ++i) {
+    obs::MetricsSnapshot::CounterValue c;
+    c.name = get_string(r, "Stats counter name");
+    c.value = r.u64();
+    m.snapshot.counters.push_back(std::move(c));
+  }
+
+  const std::uint64_t n_gauges = r.u32();
+  if (n_gauges > kMaxStatsEntries) {
+    throw WireError("Stats: gauge-count claim of " + std::to_string(n_gauges) +
+                    " exceeds the cap of " + std::to_string(kMaxStatsEntries));
+  }
+  r.need(static_cast<std::size_t>(n_gauges) * 10);
+  m.snapshot.gauges.reserve(static_cast<std::size_t>(n_gauges));
+  for (std::uint64_t i = 0; i < n_gauges; ++i) {
+    obs::MetricsSnapshot::GaugeValue g;
+    g.name = get_string(r, "Stats gauge name");
+    g.value = r.f64();
+    m.snapshot.gauges.push_back(std::move(g));
+  }
+
+  const std::uint64_t n_hists = r.u32();
+  if (n_hists > kMaxStatsEntries) {
+    throw WireError("Stats: histogram-count claim of " +
+                    std::to_string(n_hists) + " exceeds the cap of " +
+                    std::to_string(kMaxStatsEntries));
+  }
+  r.need(static_cast<std::size_t>(n_hists) * 38);
+  m.snapshot.histograms.reserve(static_cast<std::size_t>(n_hists));
+  for (std::uint64_t i = 0; i < n_hists; ++i) {
+    obs::MetricsSnapshot::HistogramValue h;
+    h.name = get_string(r, "Stats histogram name");
+    h.data.count = r.u64();
+    h.data.sum = r.f64();
+    h.data.min = r.f64();
+    h.data.max = r.f64();
+    const std::uint64_t n_buckets = r.u32();
+    if (n_buckets > obs::kHistogramBuckets) {
+      throw WireError("Stats: bucket-count claim of " +
+                      std::to_string(n_buckets) + " exceeds the " +
+                      std::to_string(obs::kHistogramBuckets) +
+                      "-bucket histogram layout");
+    }
+    r.need(static_cast<std::size_t>(n_buckets) * 8);
+    for (std::uint64_t b = 0; b < n_buckets; ++b) {
+      h.data.buckets[b] = r.u64();
+    }
+    m.snapshot.histograms.push_back(std::move(h));
   }
   r.expect_done();
   return m;

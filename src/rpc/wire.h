@@ -23,10 +23,15 @@
 //                   u32 num_trees  (client sends its version, server echoes
 //                   the served model's shape)
 //   Ping / Pong     empty
-//   ClassifyRequest u64 request_id, u32 num_rows, u32 row_dim,
+//   ClassifyRequest u64 request_id, u64 trace_id, u64 parent_span_id,
+//                   u32 num_rows, u32 row_dim,
 //                   f64[num_rows * row_dim] row-major feature rows
 //                   (already jittered client-side from each link's own RNG
-//                   stream -- the server stays stateless and deterministic)
+//                   stream -- the server stays stateless and deterministic).
+//                   trace_id/parent_span_id carry the caller's
+//                   obs::TraceContext (0 = no active trace) so daemon-side
+//                   spans nest under the controller's decide span in a
+//                   merged Perfetto export
 //   VerdictReply    u64 request_id, u32 num_rows, u32 num_classes,
 //                   f64[num_rows * num_classes] per-class vote fractions
 //   ModelPush       u64 request_id, u32 text_len, bytes[text_len] -- the
@@ -35,6 +40,17 @@
 //                   (untrusted-input discipline) and compiles it
 //   Ack             u64 request_id, u8 ok, u8 pad[3], u32 message_len,
 //                   bytes[message_len] (ModelPush outcome / server errors)
+//   StatsPush/      u64 request_id, string origin, then three counted
+//   StatsAck        sections (counters: u32 n, [string name, u64 value];
+//                   gauges: u32 n, [string name, f64 value]; histograms:
+//                   u32 n, [string name, u64 count, f64 sum, f64 min,
+//                   f64 max, u32 n_buckets, u64[n_buckets]]) -- a
+//                   serialized obs::MetricsSnapshot. Strings are u16
+//                   length-prefixed. The controller's aggregator sends
+//                   StatsPush as a solicitation (empty snapshot) and the
+//                   daemon answers StatsAck with its cumulative registry
+//                   snapshot, which then appears under its origin label in
+//                   the controller's merged scrape
 //
 // Every decoder is bounds-checked against both the declared counts and the
 // actual payload size, all size arithmetic runs in uint64 before any
@@ -54,6 +70,7 @@
 #include <vector>
 
 #include "ml/data.h"
+#include "obs/metrics.h"
 
 namespace libra::rpc {
 
@@ -65,7 +82,10 @@ class WireError : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kMagic = 0x4152424Cu;  // "LBRA" little-endian
-inline constexpr std::uint16_t kVersion = 1;
+// v2: ClassifyRequest gained trace_id/parent_span_id and the
+// StatsPush/StatsAck pair joined the protocol. Both sides of this codebase
+// always speak the current version; a version skew is a hard WireError.
+inline constexpr std::uint16_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 24;
 
 // Hard caps on what a peer may claim. A classify batch of kMaxBatchRows *
@@ -76,6 +96,10 @@ inline constexpr std::uint64_t kMaxBatchRows = 1ull << 20;
 inline constexpr std::uint64_t kMaxRowDim = 512;
 inline constexpr std::uint64_t kMaxModelTextBytes = 48ull << 20;
 inline constexpr std::uint64_t kMaxAckMessageBytes = 1ull << 16;
+// Stats snapshots: per-kind entry caps far above the registry's own
+// capacities, plus a metric/origin name cap.
+inline constexpr std::uint64_t kMaxStatsEntries = 4096;
+inline constexpr std::uint64_t kMaxStatsNameBytes = 256;
 
 enum class MsgType : std::uint16_t {
   kHello = 1,
@@ -85,6 +109,8 @@ enum class MsgType : std::uint16_t {
   kVerdictReply = 5,
   kModelPush = 6,
   kAck = 7,
+  kStatsPush = 8,
+  kStatsAck = 9,
 };
 
 std::string_view to_string(MsgType type);
@@ -123,6 +149,11 @@ struct HelloMsg {
 
 struct ClassifyRequestMsg {
   std::uint64_t request_id = 0;
+  // The caller's obs::TraceContext (0 = no active trace): the server wraps
+  // its classify handling in a TraceContextScope built from these, so
+  // daemon spans parent under the controller's decide span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::uint32_t row_dim = 0;
   std::vector<double> rows;  // row-major, rows.size() == num_rows * row_dim
 
@@ -173,6 +204,18 @@ struct AckMsg {
 
   std::vector<std::uint8_t> encode() const;
   static AckMsg decode(std::span<const std::uint8_t> payload);
+};
+
+// One obs::MetricsSnapshot with an origin label -- the payload of both
+// kStatsPush (a solicitation, snapshot usually empty) and kStatsAck (the
+// daemon's cumulative registry snapshot).
+struct StatsMsg {
+  std::uint64_t request_id = 0;
+  std::string origin;
+  obs::MetricsSnapshot snapshot;
+
+  std::vector<std::uint8_t> encode() const;
+  static StatsMsg decode(std::span<const std::uint8_t> payload);
 };
 
 }  // namespace libra::rpc

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/decision_backend.h"
+#include "obs/aggregate.h"
+#include "obs/scrape.h"
 #include "obs/span.h"
 #include "util/thread_pool.h"
 
@@ -91,8 +93,44 @@ FleetResult run_fleet(std::span<const FleetLink> links,
     throw std::invalid_argument("run_fleet: num_threads must be >= 0, got " +
                                 std::to_string(cfg.num_threads));
   }
+  if (cfg.scrape_port < 0 || cfg.scrape_port > 65535) {
+    throw std::invalid_argument("run_fleet: scrape_port must be in [0, 65535], got " +
+                                std::to_string(cfg.scrape_port));
+  }
   cfg.faults.validate();
   FleetMetrics& metrics = fleet_metrics();
+
+  // Live observability for this run: an aggregator rolling the registry
+  // (and the daemon's StatsPush-merged snapshots when the backend has a
+  // peer) into time series, scraped over HTTP. Strictly observation-only --
+  // the roll-up thread reads shards and clocks, never Rng or link state --
+  // so the digest is bit-identical with or without it.
+  std::unique_ptr<obs::Aggregator> aggregator;
+  std::unique_ptr<obs::ScrapeServer> scrape_server;
+  if (cfg.scrape_port > 0) {
+    obs::AggregatorConfig agg_cfg;
+    agg_cfg.rollup_period_ms = cfg.scrape_rollup_ms;
+    agg_cfg.local_origin = "controller";
+    aggregator = std::make_unique<obs::Aggregator>(agg_cfg);
+    if (cfg.backend != nullptr) {
+      core::DecisionBackend* backend = cfg.backend;
+      // Peers are labeled by the origin the daemon itself reports
+      // (ServerConfig::stats_origin, default "daemon").
+      aggregator->add_source(
+          [backend]() -> std::optional<obs::LabeledSnapshot> {
+            std::optional<core::PeerStats> stats = backend->peer_stats();
+            if (!stats.has_value()) return std::nullopt;
+            return obs::LabeledSnapshot{std::move(stats->origin),
+                                        std::move(stats->snapshot)};
+          });
+    }
+    aggregator->rollup_now();  // first collection point before tick 0
+    aggregator->start();
+    obs::ScrapeConfig scrape_cfg;
+    scrape_cfg.port = cfg.scrape_port;
+    scrape_server = std::make_unique<obs::ScrapeServer>(*aggregator, scrape_cfg);
+    scrape_server->start();
+  }
 
   // Fork every link's stream up front, in GLOBAL link order: neither the
   // shard layout nor the thread schedule can perturb what an individual

@@ -90,6 +90,17 @@ struct FleetConfig {
   // run replays bit-for-bit from (seed, faults.seed) at any shard/thread
   // count. Validated up front; throws std::invalid_argument on a bad plan.
   faults::FaultPlan faults{};
+  // Live observability: > 0 mounts an obs::ScrapeServer on
+  // 127.0.0.1:scrape_port for the duration of the run (GET /metrics,
+  // /healthz, /series.json), fed by an obs::Aggregator rolling up the
+  // controller's registry every scrape_rollup_ms -- plus the daemon's
+  // (StatsPush-merged, origin-labeled) when `backend` has a peer. 0 (the
+  // default) runs without the aggregation tier. Aggregation is
+  // observation-only: the digest is bit-identical either way (proven in
+  // tests/rpc_test.cpp / tests/fleet_test.cpp). Throws
+  // std::invalid_argument on a port outside [0, 65535].
+  int scrape_port = 0;
+  double scrape_rollup_ms = 1000.0;
 };
 
 struct FleetResult {

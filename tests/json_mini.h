@@ -1,216 +1,13 @@
-// A minimal recursive-descent JSON parser for test assertions (trace-event
-// exports, metrics snapshots). Strict enough to catch malformed output --
-// throws std::runtime_error with an offset on any syntax error -- but not a
-// general-purpose library: \uXXXX escapes decode only the code-point value
-// as a single char for ASCII, which is all our exporters emit.
+// Forwarder: the test-suite JSON parser was promoted to util/json.h when
+// `libra top` needed it to read /series.json. Tests keep their historical
+// libra::testing:: spellings through these aliases.
 #pragma once
 
-#include <cctype>
-#include <cstddef>
-#include <map>
-#include <stdexcept>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "util/json.h"
 
 namespace libra::testing {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  bool is_object() const { return type == Type::kObject; }
-  bool is_array() const { return type == Type::kArray; }
-  bool is_string() const { return type == Type::kString; }
-  bool is_number() const { return type == Type::kNumber; }
-
-  // Object member lookup; nullptr when absent or not an object.
-  const JsonValue* find(const std::string& key) const {
-    if (type != Type::kObject) return nullptr;
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-namespace detail {
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("json parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume_literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') {
-      if (!consume_literal("null")) fail("bad literal");
-      return JsonValue{};
-    }
-    return number();
-  }
-
-  JsonValue object() {
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue key = string();
-      skip_ws();
-      expect(':');
-      v.object[key.str] = value();
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string() {
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    expect('"');
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': v.str += '"'; break;
-          case '\\': v.str += '\\'; break;
-          case '/': v.str += '/'; break;
-          case 'b': v.str += '\b'; break;
-          case 'f': v.str += '\f'; break;
-          case 'n': v.str += '\n'; break;
-          case 'r': v.str += '\r'; break;
-          case 't': v.str += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            const std::string hex(text_.substr(pos_, 4));
-            v.str += static_cast<char>(std::stoi(hex, nullptr, 16));
-            pos_ += 4;
-            break;
-          }
-          default: fail("unknown escape");
-        }
-      } else {
-        v.str += c;
-      }
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (consume_literal("true")) {
-      v.boolean = true;
-    } else if (consume_literal("false")) {
-      v.boolean = false;
-    } else {
-      fail("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    try {
-      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace detail
-
-inline JsonValue parse_json(std::string_view text) {
-  return detail::JsonParser(text).parse();
-}
+using util::JsonValue;
+using util::parse_json;
 
 }  // namespace libra::testing

@@ -12,17 +12,30 @@
 //    frame-identical to a 100% classifier outage, which in turn reduces
 //    to the RA-first heuristic (faults_test proves that last hop);
 //  - ModelPush hot swaps are atomic per batch: concurrent classify
-//    traffic never crashes and never sees two forests inside one reply.
+//    traffic never crashes and never sees two forests inside one reply;
+//  - the v2 additions hold their contracts: StatsPush/StatsAck round
+//    trips a labeled MetricsSnapshot (and rejects forged claims), a
+//    loopback pull_stats() returns the daemon's own origin label, the
+//    retry/reconnect ladder is counted, daemon classify spans parent
+//    under the caller's span in a merged trace export, and mounting a
+//    scrape endpoint on a fleet run is observation-only (bit-identical
+//    digests) while serving controller- AND daemon-origin series.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -32,8 +45,12 @@
 #include "core/controller.h"
 #include "core/decision_backend.h"
 #include "env/registry.h"
+#include "json_mini.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/scrape.h"
+#include "obs/span.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
 #include "rpc/wire.h"
@@ -188,11 +205,15 @@ TEST(Wire, ClassifyRequestRoundTripIsBitExact) {
   };
   rpc::ClassifyRequestMsg msg;
   msg.request_id = 0xDEADBEEFCAFEF00Dull;
+  msg.trace_id = 0x1122334455667788ull;
+  msg.parent_span_id = 0x99AABBCCDDEEFF00ull;
   msg.row_dim = 5;
   msg.rows.assign(extremes.begin(), extremes.end());
   const std::vector<std::uint8_t> payload = msg.encode();
   const rpc::ClassifyRequestMsg back = rpc::ClassifyRequestMsg::decode(payload);
   EXPECT_EQ(back.request_id, msg.request_id);
+  EXPECT_EQ(back.trace_id, msg.trace_id);
+  EXPECT_EQ(back.parent_span_id, msg.parent_span_id);
   EXPECT_EQ(back.row_dim, msg.row_dim);
   ASSERT_EQ(back.rows.size(), msg.rows.size());
   EXPECT_EQ(std::memcmp(back.rows.data(), msg.rows.data(),
@@ -295,16 +316,17 @@ TEST(Wire, RejectsCountPayloadMismatch) {
   msg.row_dim = 4;
   msg.rows.assign(8, 1.5);  // 2 rows
   std::vector<std::uint8_t> payload = msg.encode();
-  // Bump the num_rows field (offset 8 after the u64 request_id).
+  // Bump the num_rows field (offset 24, after the u64 request_id /
+  // trace_id / parent_span_id triple).
   const std::uint32_t forged_rows = 1000;
-  std::memcpy(payload.data() + 8, &forged_rows, sizeof(forged_rows));
+  std::memcpy(payload.data() + 24, &forged_rows, sizeof(forged_rows));
   EXPECT_THROW(rpc::ClassifyRequestMsg::decode(payload), rpc::WireError);
 
   // Claimed row_dim over the cap.
   const std::uint32_t two = 2;
-  std::memcpy(payload.data() + 8, &two, sizeof(two));
+  std::memcpy(payload.data() + 24, &two, sizeof(two));
   const auto huge_dim = static_cast<std::uint32_t>(rpc::kMaxRowDim + 1);
-  std::memcpy(payload.data() + 12, &huge_dim, sizeof(huge_dim));
+  std::memcpy(payload.data() + 28, &huge_dim, sizeof(huge_dim));
   EXPECT_THROW(rpc::ClassifyRequestMsg::decode(payload), rpc::WireError);
 }
 
@@ -321,6 +343,108 @@ TEST(Wire, EncodeRejectsOversizedBatch) {
   msg.row_dim = 1;
   msg.rows.assign(rpc::kMaxBatchRows + 1, 0.0);
   EXPECT_THROW(msg.encode(), rpc::WireError);
+}
+
+// ---------- wire: stats push/ack ----------
+
+TEST(Wire, StatsMsgRoundTripsLabeledSnapshot) {
+  rpc::StatsMsg msg;
+  msg.request_id = 31;
+  msg.origin = "daemon:rack12";
+  msg.snapshot.counters.push_back({"rpc.server.requests", 12345});
+  msg.snapshot.counters.push_back({"rpc.server.rows", 0});
+  msg.snapshot.gauges.push_back({"fleet.links_active", 42.5});
+  obs::MetricsSnapshot::HistogramValue h;
+  h.name = "rpc.server.classify_us";
+  h.data.count = 3;
+  h.data.sum = 7.5;
+  h.data.min = 0.5;
+  h.data.max = 4.0;
+  h.data.buckets[0] = 1;  // 0.5
+  h.data.buckets[2] = 1;  // 3.0 in [2, 4)
+  h.data.buckets[3] = 1;  // 4.0 in [4, 8)
+  msg.snapshot.histograms.push_back(h);
+
+  const rpc::StatsMsg back = rpc::StatsMsg::decode(msg.encode());
+  EXPECT_EQ(back.request_id, 31u);
+  EXPECT_EQ(back.origin, "daemon:rack12");
+  ASSERT_EQ(back.snapshot.counters.size(), 2u);
+  EXPECT_EQ(back.snapshot.counters[0].name, "rpc.server.requests");
+  EXPECT_EQ(back.snapshot.counters[0].value, 12345u);
+  EXPECT_EQ(back.snapshot.counters[1].value, 0u);
+  ASSERT_EQ(back.snapshot.gauges.size(), 1u);
+  EXPECT_EQ(back.snapshot.gauges[0].value, 42.5);
+  ASSERT_EQ(back.snapshot.histograms.size(), 1u);
+  const obs::HistogramData& hd = back.snapshot.histograms[0].data;
+  EXPECT_EQ(hd.count, 3u);
+  EXPECT_EQ(hd.sum, 7.5);
+  EXPECT_EQ(hd.min, 0.5);
+  EXPECT_EQ(hd.max, 4.0);
+  // The elided trailing buckets must come back as zeros, the occupied
+  // ones exactly.
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    EXPECT_EQ(hd.buckets[b], h.data.buckets[b]) << "bucket " << b;
+  }
+
+  // The solicitation form pull_stats() sends: an empty snapshot.
+  rpc::StatsMsg probe;
+  probe.request_id = 7;
+  probe.origin = "controller";
+  const rpc::StatsMsg pback = rpc::StatsMsg::decode(probe.encode());
+  EXPECT_EQ(pback.origin, "controller");
+  EXPECT_TRUE(pback.snapshot.counters.empty());
+  EXPECT_TRUE(pback.snapshot.gauges.empty());
+  EXPECT_TRUE(pback.snapshot.histograms.empty());
+}
+
+TEST(Wire, StatsMsgElidesTrailingZeroBucketsOnTheWire) {
+  rpc::StatsMsg low, high;
+  low.snapshot.histograms.emplace_back();
+  low.snapshot.histograms[0].name = "h";
+  low.snapshot.histograms[0].data.buckets[0] = 1;
+  high.snapshot.histograms.emplace_back();
+  high.snapshot.histograms[0].name = "h";
+  high.snapshot.histograms[0].data.buckets[obs::kHistogramBuckets - 1] = 1;
+  // Same shape except for which bucket is occupied: the low histogram
+  // ships 1 bucket, the high one all of them.
+  EXPECT_EQ(high.encode().size() - low.encode().size(),
+            (obs::kHistogramBuckets - 1) * sizeof(std::uint64_t));
+}
+
+TEST(Wire, StatsMsgRejectsHostileClaims) {
+  // Encode-side caps: too many entries, oversized names.
+  rpc::StatsMsg fat;
+  fat.snapshot.counters.resize(rpc::kMaxStatsEntries + 1);
+  EXPECT_THROW(fat.encode(), rpc::WireError);
+  rpc::StatsMsg longname;
+  longname.snapshot.counters.push_back(
+      {std::string(rpc::kMaxStatsNameBytes + 1, 'n'), 1});
+  EXPECT_THROW(longname.encode(), rpc::WireError);
+
+  // Decode-side: forge the counter-count field of a valid payload. With
+  // origin "x" it sits at offset 11 (u64 request_id + u16 len + 1 byte).
+  rpc::StatsMsg msg;
+  msg.request_id = 1;
+  msg.origin = "x";
+  msg.snapshot.counters.push_back({"c", 9});
+  const std::vector<std::uint8_t> good = msg.encode();
+
+  std::vector<std::uint8_t> over_cap = good;
+  const auto huge = static_cast<std::uint32_t>(rpc::kMaxStatsEntries + 1);
+  std::memcpy(over_cap.data() + 11, &huge, sizeof(huge));
+  EXPECT_THROW(rpc::StatsMsg::decode(over_cap), rpc::WireError);
+
+  // A claim under the cap but past the shipped bytes must fail the
+  // payload-size sanity check, not read garbage.
+  std::vector<std::uint8_t> starved = good;
+  const std::uint32_t hundred = 100;
+  std::memcpy(starved.data() + 11, &hundred, sizeof(hundred));
+  EXPECT_THROW(rpc::StatsMsg::decode(starved), rpc::WireError);
+
+  // Trailing bytes after a complete snapshot are a framing error.
+  std::vector<std::uint8_t> trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(rpc::StatsMsg::decode(trailing), rpc::WireError);
 }
 
 // ---------- address parsing ----------
@@ -527,6 +651,173 @@ TEST(RpcLoopback, ModelPushHotSwapNeverMixesForestsMidBatch) {
   EXPECT_EQ(violations.load(), 0);
 }
 
+// ---------- stats pull: loopback ----------
+
+#if LIBRA_OBS_ENABLED
+// pull_stats() must return the snapshot labeled with the DAEMON's
+// configured origin -- the controller never invents a label for a peer
+// (the aggregator keys its delta chains on that string).
+TEST(RpcLoopback, PullStatsReturnsDaemonLabeledSnapshot) {
+  const ml::RandomForest forest = make_small_forest(10);
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);  // default stats_origin "daemon"
+  server.set_forest(forest);
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient client(ccfg);
+  ASSERT_TRUE(client.classify(make_query_rows()).has_value());
+
+  const std::optional<rpc::StatsMsg> stats = client.pull_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->origin, "daemon");
+  // The loopback daemon shares this process's registry, so its snapshot
+  // carries the server-side counters the classify above just bumped.
+  const auto* requests = stats->snapshot.find_counter("rpc.server.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GT(requests->value, 0u);
+  const auto* classify_us =
+      stats->snapshot.find_histogram("rpc.server.classify_us");
+  ASSERT_NE(classify_us, nullptr);
+  EXPECT_GT(classify_us->data.count, 0u);
+  server.stop();
+
+  // A custom stats_origin rides the same path, and RemoteBackend passes
+  // it through as core::PeerStats verbatim.
+  rpc::ServerConfig named;
+  named.unix_socket = unique_socket_path();
+  named.stats_origin = "daemon:rack12";
+  rpc::DecisionServer named_server(named);
+  named_server.set_forest(forest);
+  named_server.start();
+  rpc::ClientConfig ncfg;
+  ncfg.unix_socket = named.unix_socket;
+  rpc::RemoteBackend backend(ncfg);
+  const std::optional<core::PeerStats> peer = backend.peer_stats();
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->origin, "daemon:rack12");
+  named_server.stop();
+
+  // Against a dead daemon the pull degrades to nullopt, never throws.
+  EXPECT_FALSE(backend.peer_stats().has_value());
+}
+#endif
+
+// ---------- client telemetry: retries and reconnects ----------
+
+#if LIBRA_OBS_ENABLED
+std::uint64_t counter_now(const char* name) {
+  const obs::MetricsSnapshot snap = obs::Registry::global().snapshot();
+  const auto* c = snap.find_counter(name);
+  return c != nullptr ? c->value : 0u;
+}
+
+TEST(RpcClient, DeadSocketBurnsTheRetryWithoutAReconnect) {
+  const std::uint64_t retries0 = counter_now("rpc.client.retries");
+  const std::uint64_t reconnects0 = counter_now("rpc.client.reconnects");
+  const std::uint64_t outages0 = counter_now("rpc.client.outages");
+
+  rpc::ClientConfig dead;
+  dead.unix_socket = unique_socket_path();  // never bound
+  dead.deadline_ms = 50.0;
+  rpc::DecisionClient client(dead);
+  EXPECT_FALSE(client.classify(make_query_rows()).has_value());
+
+  // One failed round trip, one counted retry on a connect that also
+  // fails, one outage -- and no reconnect, because nothing connected.
+  EXPECT_EQ(counter_now("rpc.client.retries"), retries0 + 1);
+  EXPECT_EQ(counter_now("rpc.client.outages"), outages0 + 1);
+  EXPECT_EQ(counter_now("rpc.client.reconnects"), reconnects0);
+}
+
+TEST(RpcClient, ServerRestartCountsOneRetryAndOneReconnect) {
+  const ml::RandomForest forest = make_small_forest(10);
+  const std::string path = unique_socket_path();
+  auto serve = [&] {
+    rpc::ServerConfig scfg;
+    scfg.unix_socket = path;
+    auto server = std::make_unique<rpc::DecisionServer>(scfg);
+    server->set_forest(forest);
+    server->start();
+    return server;
+  };
+
+  auto server = serve();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = path;
+  rpc::DecisionClient client(ccfg);
+  ASSERT_TRUE(client.classify(make_query_rows()).has_value());
+
+  const std::uint64_t retries0 = counter_now("rpc.client.retries");
+  const std::uint64_t reconnects0 = counter_now("rpc.client.reconnects");
+
+  // Restart the daemon on the same socket. The client's next classify
+  // finds the stale connection dead, retries once on a fresh one, and
+  // succeeds -- exactly one retry, exactly one reconnect.
+  server->stop();
+  server = serve();
+  ASSERT_TRUE(client.classify(make_query_rows()).has_value());
+  EXPECT_EQ(counter_now("rpc.client.retries"), retries0 + 1);
+  EXPECT_EQ(counter_now("rpc.client.reconnects"), reconnects0 + 1);
+  server->stop();
+}
+#endif
+
+// ---------- trace propagation across the wire ----------
+
+#if LIBRA_OBS_ENABLED
+// The acceptance criterion for cross-process tracing: a daemon-side
+// rpc.server.classify span must land in the SAME trace as the caller's
+// span and parent directly under it. On the loopback both sides share
+// this process's TraceBuffer, so one export shows the whole tree.
+TEST(RpcTrace, DaemonClassifySpanParentsUnderCallerSpan) {
+  const ml::RandomForest forest = make_small_forest(10);
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(forest);
+  server.start();
+
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  rpc::DecisionClient client(ccfg);
+
+  obs::TraceBuffer& buf = obs::TraceBuffer::global();
+  buf.clear();
+  {
+    OBS_SPAN("rpc_test.decide");
+    ASSERT_TRUE(client.classify(make_query_rows()).has_value());
+  }
+  server.stop();  // quiesce the worker threads before exporting
+
+  const testing::JsonValue root = testing::parse_json(buf.to_chrome_json());
+  const testing::JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const testing::JsonValue* decide = nullptr;
+  const testing::JsonValue* served = nullptr;
+  for (const testing::JsonValue& e : events->array) {
+    const testing::JsonValue* n = e.find("name");
+    if (n == nullptr) continue;
+    if (n->str == "rpc_test.decide") decide = &e;
+    if (n->str == "rpc.server.classify") served = &e;
+  }
+  ASSERT_NE(decide, nullptr);
+  ASSERT_NE(served, nullptr);
+  const testing::JsonValue* dargs = decide->find("args");
+  const testing::JsonValue* sargs = served->find("args");
+  ASSERT_NE(dargs, nullptr);
+  ASSERT_NE(sargs, nullptr);
+  // Same trace id across the socket; the daemon span's parent is the
+  // caller's span id, and the caller is the root.
+  EXPECT_EQ(sargs->find("trace")->str, dargs->find("trace")->str);
+  EXPECT_EQ(sargs->find("parent")->str, dargs->find("span")->str);
+  EXPECT_EQ(dargs->find("parent")->str, "0x0");
+  buf.clear();
+}
+#endif
+
 // ---------- fleet integration: loopback bit-identity ----------
 
 // One station's whole world (same corpus as fleet_test).
@@ -590,7 +881,9 @@ sim::FleetResult run_station_fleet(const core::LibraClassifier* clf,
                                    std::uint64_t seed,
                                    core::DecisionBackend* backend = nullptr,
                                    int shards = 0, int num_threads = 1,
-                                   const faults::FaultPlan& plan = {}) {
+                                   const faults::FaultPlan& plan = {},
+                                   int scrape_port = 0,
+                                   double scrape_rollup_ms = 1000.0) {
   const array::Codebook codebook;
   auto stations = build_stations(&codebook, clf);
   std::vector<sim::FleetLink> members;
@@ -604,6 +897,8 @@ sim::FleetResult run_station_fleet(const core::LibraClassifier* clf,
   cfg.shards = shards;
   cfg.num_threads = num_threads;
   cfg.faults = plan;
+  cfg.scrape_port = scrape_port;
+  cfg.scrape_rollup_ms = scrape_rollup_ms;
   return sim::run_fleet(members, cfg);
 }
 
@@ -831,6 +1126,141 @@ TEST(RpcFleet, ServerKilledBeforeDecideDegradesAndStaysDeterministic) {
   EXPECT_GT(after->value, fallbacks_before);
 #endif
 }
+
+// ---------- fleet integration: live scrape ----------
+
+// Bind an ephemeral TCP port on loopback and release it: the usual
+// pick-a-free-port trick for handing run_fleet a concrete scrape port.
+int free_tcp_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// The observation-only contract: mounting the aggregator + scrape
+// endpoint on a run must not perturb a single frame or the digest, even
+// when the aggregator is concurrently pulling daemon stats over the SAME
+// client connection the fleet classifies through.
+TEST(RpcFleet, ScrapeEndpointIsObservationOnly) {
+  constexpr std::uint64_t kSeed = 77;
+  const core::LibraClassifier clf = make_classifier();
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(clf.forest());
+  server.start();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  ccfg.deadline_ms = 5000.0;
+  rpc::RemoteBackend backend(ccfg);
+
+  const sim::FleetResult plain = run_station_fleet(&clf, kSeed, &backend);
+  const sim::FleetResult scraped =
+      run_station_fleet(&clf, kSeed, &backend, 0, 1, {}, free_tcp_port(),
+                        /*scrape_rollup_ms=*/5.0);
+  server.stop();
+  expect_frame_logs_identical(plain, scraped);
+}
+
+#if LIBRA_OBS_ENABLED
+// Holds every classify until release() so a run stays "mid-flight" for
+// as long as the test needs to scrape it, then behaves like the wrapped
+// backend. The 30s cap keeps a broken test from deadlocking the suite.
+class GatedBackend final : public core::DecisionBackend {
+ public:
+  explicit GatedBackend(core::DecisionBackend* inner) : inner_(inner) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  bool local() const override { return inner_->local(); }
+  bool available() override { return inner_->available(); }
+  double deadline_ms() const override { return inner_->deadline_ms(); }
+  std::optional<core::PeerStats> peer_stats() override {
+    return inner_->peer_stats();
+  }
+  std::vector<std::vector<double>> vote_batch(
+      const ml::DataSet& rows) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::seconds(30), [&] { return released_; });
+    lock.unlock();
+    return inner_->vote_batch(rows);
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  core::DecisionBackend* inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+// The merged-scrape acceptance criterion: while a fleet run is in
+// flight, GET /metrics must return valid Prometheus text carrying
+// controller-origin AND daemon-origin series in one document.
+TEST(RpcFleet, MidRunScrapeServesMergedControllerAndDaemonSeries) {
+  constexpr std::uint64_t kSeed = 77;
+  const core::LibraClassifier clf = make_classifier();
+
+  rpc::ServerConfig scfg;
+  scfg.unix_socket = unique_socket_path();
+  rpc::DecisionServer server(scfg);
+  server.set_forest(clf.forest());
+  server.start();
+  rpc::ClientConfig ccfg;
+  ccfg.unix_socket = scfg.unix_socket;
+  ccfg.deadline_ms = 5000.0;
+  rpc::RemoteBackend remote(ccfg);
+  GatedBackend gated(&remote);
+
+  const int port = free_tcp_port();
+  std::thread fleet([&] {
+    run_station_fleet(&clf, kSeed, &gated, 0, 1, {}, port,
+                      /*scrape_rollup_ms=*/5.0);
+  });
+
+  // The run is parked on the gate; poll the live endpoint until one
+  // scrape shows both origins (the aggregator needs a rollup or two to
+  // pull the daemon's first snapshot over the idle client).
+  std::string merged_body;
+  for (int attempt = 0; attempt < 2000 && merged_body.empty(); ++attempt) {
+    const std::optional<obs::HttpResponse> resp =
+        obs::http_get("127.0.0.1", port, "/metrics", /*timeout_ms=*/500);
+    if (resp.has_value() && resp->status == 200 &&
+        resp->body.find("origin=\"controller\"") != std::string::npos &&
+        resp->body.find("origin=\"daemon\"") != std::string::npos) {
+      merged_body = resp->body;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  gated.release();
+  fleet.join();
+  server.stop();
+
+  ASSERT_FALSE(merged_body.empty())
+      << "no merged scrape within the polling window";
+  // Spot-check that the merged document carries per-origin samples of
+  // the daemon's own serving counters next to the controller's.
+  EXPECT_NE(merged_body.find("libra_rpc_server_requests"), std::string::npos);
+  EXPECT_NE(merged_body.find("libra_obs_aggregator_rollups"),
+            std::string::npos);
+}
+#endif
 
 }  // namespace
 }  // namespace libra

@@ -3,13 +3,16 @@
 
 CI's performance-regression gate: the release job runs the serving-path
 micro benches (BM_FleetClassifyBatch, BM_CompiledForestBatch,
-BM_FleetMillionLinks), then compares the fresh JSON against the checked-in
-BENCH_baseline.json. Any selected benchmark whose real_time grew by more
-than --threshold (default 25%) fails the job, as does any benchmark whose
-links_per_s rate counter (the sharded fleet engine's throughput metric)
-DROPPED by more than the same threshold; a benchmark present in the
-baseline but missing from the current run also fails (deleting a bench
-must be an explicit baseline refresh, not a silent gap).
+BM_FleetMillionLinks, BM_AggregatorRollup, ...), then compares the fresh
+JSON against the checked-in BENCH_baseline.json. Any selected benchmark
+whose real_time grew by more than --threshold (default 25%) fails the
+job, as does any benchmark where a *_per_s rate counter (links_per_s on
+the fleet engine, rows_per_s on the batch engines) DROPPED by more than
+the same threshold -- so an aggregator- or scrape-induced links/s drop on
+BM_FleetMillionLinks fails CI even if its real_time stays inside the
+window. A benchmark present in the baseline but missing from the current
+run also fails (deleting a bench must be an explicit baseline refresh,
+not a silent gap).
 
 Usage:
   tools/bench_compare.py BENCH_baseline.json fleet_bench.json \
@@ -31,8 +34,9 @@ _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_benchmarks(path):
-    """Return {name: {"real_time_ns": float, "links_per_s": float | None}}
-    for every non-aggregate benchmark."""
+    """Return {name: {"real_time_ns": float, "rates": {counter: float}}}
+    for every non-aggregate benchmark. `rates` holds every *_per_s user
+    counter (links_per_s, rows_per_s, ...) -- all of them are gated."""
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     out = {}
@@ -47,11 +51,14 @@ def load_benchmarks(path):
         unit = _UNIT_NS.get(bench.get("time_unit", "ns"))
         if unit is None:
             raise SystemExit(f"{path}: unknown time_unit for {name!r}")
-        links_per_s = bench.get("links_per_s")
+        rates = {
+            key: float(value)
+            for key, value in bench.items()
+            if key.endswith("_per_s") and isinstance(value, (int, float))
+        }
         out[name] = {
             "real_time_ns": float(real_time) * unit,
-            "links_per_s": (float(links_per_s)
-                            if links_per_s is not None else None),
+            "rates": rates,
         }
     return out
 
@@ -72,11 +79,22 @@ def fmt_rate(rate):
     return f"{rate:.1f}/s"
 
 
+def rate_ratios(base, cur):
+    """{counter: cur/base} over the *_per_s counters present in both."""
+    out = {}
+    for key, base_rate in base["rates"].items():
+        cur_rate = cur["rates"].get(key)
+        if base_rate and cur_rate is not None:
+            out[key] = cur_rate / base_rate
+    return out
+
+
 def compare(baseline, current, pattern, threshold):
     """Return (rows, regressions, missing) over baseline names matching
-    pattern; rows are (name, base, cur, ratio, rate_ratio, status) where
-    base/cur are the loaded benchmark dicts (cur None when missing).
-    real_time regresses when it GROWS past the threshold; links_per_s
+    pattern; rows are (name, base, cur, ratio, ratios, status) where
+    base/cur are the loaded benchmark dicts (cur None when missing) and
+    ratios maps each shared *_per_s counter to cur/base. real_time
+    regresses when it GROWS past the threshold; any rate counter
     regresses when it DROPS past it."""
     rows = []
     regressions = []
@@ -87,25 +105,23 @@ def compare(baseline, current, pattern, threshold):
         base = baseline[name]
         if name not in current:
             missing.append(name)
-            rows.append((name, base, None, None, None, "MISSING"))
+            rows.append((name, base, None, None, {}, "MISSING"))
             continue
         cur = current[name]
         base_ns = base["real_time_ns"]
         ratio = cur["real_time_ns"] / base_ns if base_ns > 0 else float("inf")
-        rate_ratio = None
-        if base["links_per_s"] and cur["links_per_s"] is not None:
-            rate_ratio = cur["links_per_s"] / base["links_per_s"]
+        ratios = rate_ratios(base, cur)
         time_regressed = ratio > 1.0 + threshold
-        rate_regressed = rate_ratio is not None and rate_ratio < 1.0 - threshold
+        rate_regressed = any(r < 1.0 - threshold for r in ratios.values())
         if time_regressed or rate_regressed:
             status = "REGRESSION"
             regressions.append(name)
-        elif ratio < 1.0 - threshold or (rate_ratio is not None
-                                         and rate_ratio > 1.0 + threshold):
+        elif ratio < 1.0 - threshold or any(
+                r > 1.0 + threshold for r in ratios.values()):
             status = "improved"
         else:
             status = "ok"
-        rows.append((name, base, cur, ratio, rate_ratio, status))
+        rows.append((name, base, cur, ratio, ratios, status))
     return rows, regressions, missing
 
 
@@ -115,22 +131,25 @@ def write_report(path, rows, regressions, missing, threshold, args):
         "",
         f"Baseline: `{args.baseline}` — current: `{args.current}` — "
         f"gate: real_time ratio > {1.0 + threshold:.2f} "
-        f"or links/s ratio < {1.0 - threshold:.2f}",
+        f"or any *_per_s ratio < {1.0 - threshold:.2f}",
         "",
         "| benchmark | baseline | current | ratio "
-        "| links/s (base → cur) | status |",
+        "| rates (base → cur) | status |",
         "|---|---|---|---|---|---|",
     ]
-    for name, base, cur, ratio, rate_ratio, status in rows:
+    for name, base, cur, ratio, ratios, status in rows:
         cur_time = fmt_ns(cur["real_time_ns"]) if cur is not None else "—"
         rat = f"{ratio:.3f}" if ratio is not None else "—"
-        if base["links_per_s"] is not None:
-            rate = (f"{fmt_rate(base['links_per_s'])} → "
-                    f"{fmt_rate(cur['links_per_s']) if cur else '—'}")
-            if rate_ratio is not None:
-                rate += f" ({rate_ratio:.3f})"
-        else:
-            rate = "—"
+        rate_cells = []
+        for key in sorted(base["rates"]):
+            base_rate = base["rates"][key]
+            cur_rate = cur["rates"].get(key) if cur is not None else None
+            cell = (f"{key}: {fmt_rate(base_rate)} → "
+                    f"{fmt_rate(cur_rate)}")
+            if key in ratios:
+                cell += f" ({ratios[key]:.3f})"
+            rate_cells.append(cell)
+        rate = "<br>".join(rate_cells) if rate_cells else "—"
         lines.append(
             f"| {name} | {fmt_ns(base['real_time_ns'])} | {cur_time} "
             f"| {rat} | {rate} | {status} |")
@@ -156,7 +175,7 @@ def main():
     parser.add_argument("current", help="freshly produced benchmark JSON")
     parser.add_argument(
         "--threshold", type=float, default=0.25,
-        help="allowed fractional real_time growth / links_per_s drop "
+        help="allowed fractional real_time growth / *_per_s rate drop "
              "(default 0.25 = 25%%)")
     parser.add_argument(
         "--filter", default=".",

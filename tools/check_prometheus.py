@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition. Stdlib only.
+
+CI's scrape-payload gate: the remote-serving smoke step curls the live
+/metrics endpoint mid-run and pipes the body through this checker, so a
+malformed exposition (bad metric name, a TYPE line after its samples, a
+non-cumulative histogram, a missing +Inf bucket) fails the job instead of
+silently producing a scrape Prometheus would reject.
+
+Checks enforced:
+  - every line is a comment (# HELP / # TYPE / #...), blank, or a sample;
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names match
+    [a-zA-Z_][a-zA-Z0-9_]*, label values use \\\\, \\" and \\n escapes only;
+  - at most one TYPE per metric name, declared before any sample of it;
+  - sample values parse as floats (NaN/+Inf/-Inf included);
+  - histograms are internally consistent per label set: bucket counts are
+    cumulative and monotone in le, an le="+Inf" bucket exists, and it
+    equals the matching _count sample.
+
+Usage:
+  tools/check_prometheus.py metrics.prom \\
+      --require-label 'origin="controller"' \\
+      --require-label 'origin="daemon"'
+
+--require-label asserts at least one sample carries the given label pair
+(the merged-origin acceptance check for the fleet scrape). Exits 0 when
+valid, 1 with one message per violation otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value [timestamp] -- labels optional.
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>-?\d+))?\s*$")
+
+
+def parse_labels(raw, lineno, errors):
+    """'a="x",b="y"' -> {name: value} with escapes decoded."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        eq = raw.find("=", pos)
+        if eq < 0:
+            errors.append(f"line {lineno}: malformed label pair in {raw!r}")
+            return labels
+        name = raw[pos:eq].strip().lstrip(",").strip()
+        if not _LABEL_NAME.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+            return labels
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            errors.append(f"line {lineno}: unquoted value for label {name!r}")
+            return labels
+        value = []
+        i = eq + 2
+        closed = False
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw):
+                    break
+                esc = raw[i + 1]
+                if esc == "n":
+                    value.append("\n")
+                elif esc in ('"', "\\"):
+                    value.append(esc)
+                else:
+                    errors.append(
+                        f"line {lineno}: unknown escape \\{esc} "
+                        f"in label {name!r}")
+                    value.append(esc)
+                i += 2
+                continue
+            if c == '"':
+                closed = True
+                i += 1
+                break
+            value.append(c)
+            i += 1
+        if not closed:
+            errors.append(f"line {lineno}: unterminated value for {name!r}")
+            return labels
+        labels[name] = "".join(value)
+        pos = i
+    return labels
+
+
+def parse_value(text, lineno, errors):
+    try:
+        return float(text)  # accepts NaN, +Inf, -Inf spellings
+    except ValueError:
+        errors.append(f"line {lineno}: unparsable sample value {text!r}")
+        return None
+
+
+def label_key(labels, drop=()):
+    return tuple(sorted(
+        (k, v) for k, v in labels.items() if k not in drop))
+
+
+def check(text, required_labels):
+    errors = []
+    types = {}            # metric name -> declared type
+    sampled = set()       # metric names that have emitted a sample
+    buckets = {}          # (base, label_key sans le) -> [(le, count, line)]
+    counts = {}           # (base, label_key) -> _count value
+    seen_labels = set()   # (label, value) pairs seen on any sample
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) >= 2 and fields[1] in ("HELP", "TYPE"):
+                if len(fields) < 3 or not _METRIC_NAME.match(fields[2]):
+                    errors.append(
+                        f"line {lineno}: malformed {fields[1]} comment")
+                    continue
+                if fields[1] == "TYPE":
+                    name = fields[2]
+                    if name in types:
+                        errors.append(
+                            f"line {lineno}: duplicate TYPE for {name!r}")
+                    if name in sampled:
+                        errors.append(
+                            f"line {lineno}: TYPE for {name!r} after its "
+                            f"samples")
+                    types[name] = fields[3].strip() if len(fields) > 3 else ""
+            continue
+
+        m = _SAMPLE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparsable sample line {line!r}")
+            continue
+        name = m.group("name")
+        labels = (parse_labels(m.group("labels"), lineno, errors)
+                  if m.group("labels") else {})
+        value = parse_value(m.group("value"), lineno, errors)
+        sampled.add(name)
+        for pair in labels.items():
+            seen_labels.add(pair)
+        if value is None:
+            continue
+
+        # A histogram's series share the base name's TYPE declaration.
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base is not None and types.get(base) == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                    continue
+                le_raw = labels["le"]
+                le = math.inf if le_raw == "+Inf" else None
+                if le is None:
+                    try:
+                        le = float(le_raw)
+                    except ValueError:
+                        errors.append(
+                            f"line {lineno}: unparsable le {le_raw!r}")
+                        continue
+                buckets.setdefault(
+                    (base, label_key(labels, drop=("le",))), []).append(
+                        (le, value, lineno))
+            elif name.endswith("_count"):
+                counts[(base, label_key(labels))] = (value, lineno)
+        elif name not in types:
+            errors.append(
+                f"line {lineno}: sample for {name!r} without a TYPE "
+                f"declaration")
+
+    for (base, key), series in sorted(buckets.items()):
+        series.sort(key=lambda item: item[0])
+        prev = -1.0
+        for le, value, lineno in series:
+            if value < prev:
+                errors.append(
+                    f"line {lineno}: {base}_bucket le={le} count {value} "
+                    f"below previous bucket {prev} (not cumulative)")
+            prev = value
+        if not series or not math.isinf(series[-1][0]):
+            errors.append(f"{base}{dict(key)}: no le=\"+Inf\" bucket")
+            continue
+        total = counts.get((base, key))
+        if total is None:
+            errors.append(f"{base}{dict(key)}: buckets without a _count")
+        elif total[0] != series[-1][1]:
+            errors.append(
+                f"line {total[1]}: {base}_count {total[0]} != +Inf bucket "
+                f"{series[-1][1]}")
+
+    for requirement in required_labels:
+        name, _, value = requirement.partition("=")
+        value = value.strip('"')
+        if (name, value) not in seen_labels:
+            errors.append(
+                f"required label {name}={value!r} appears on no sample")
+
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a Prometheus text exposition.")
+    parser.add_argument("path", help="exposition file ('-' for stdin)")
+    parser.add_argument(
+        "--require-label", action="append", default=[],
+        metavar="NAME=VALUE",
+        help="fail unless some sample carries this label (repeatable)")
+    args = parser.parse_args()
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+
+    errors = check(text, args.require_label)
+    for message in errors:
+        print(f"error: {message}", file=sys.stderr)
+    if not errors:
+        samples = sum(
+            1 for line in text.splitlines()
+            if line.strip() and not line.startswith("#"))
+        print(f"ok: {samples} samples, valid exposition")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,15 @@
 //   libra serve <forest> --socket PATH | --port N [--host H] [--workers N]
 //       Run the inference daemon: serve batched classify RPCs for the
 //       saved forest until SIGINT/SIGTERM (ROADMAP item 2, the
-//       controller/minion split).
+//       controller/minion split). --metrics-port N additionally mounts the
+//       observability tier on 127.0.0.1:N: GET /metrics (Prometheus),
+//       /healthz, /series.json.
+//   libra top HOST:PORT [--interval-ms N] [--once]
+//       Live fleet dashboard: poll /series.json from a scrape endpoint
+//       (a `libra serve --metrics-port` daemon or a fleet run with
+//       FleetConfig::scrape_port / `simulate --scrape-port`) and render
+//       links/s, tick p99, degraded/fallback rates, and per-MCS occupancy.
+//       --once prints a single frame and exits (CI smoke uses this).
 //
 // `collect` and `simulate` additionally take telemetry flags:
 //   --metrics          print a Prometheus-format scrape of the run's
@@ -33,6 +41,10 @@
 //                      HOST:PORT). The trained forest is pushed to the
 //                      daemon first, so a loopback run is bit-identical to
 //                      local -- the printed fleet digest proves it.
+//   --scrape-port N    mount the live scrape endpoint on 127.0.0.1:N for
+//                      the fleet stage (FleetConfig::scrape_port); with
+//                      --backend the daemon's stats are merged in under
+//                      its own origin label.
 // Unrecognized options fail any command with exit code 2.
 #include <csignal>
 #include <cstdio>
@@ -49,7 +61,9 @@
 #include "ml/metrics.h"
 #include "ml/model_io.h"
 #include "ml/random_forest.h"
+#include "obs/aggregate.h"
 #include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "obs/span.h"
 #include "phy/error_model.h"
 #include "rpc/client.h"
@@ -59,6 +73,7 @@
 #include "sim/golden.h"
 #include "trace/io.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 
 using namespace libra;
@@ -221,7 +236,8 @@ int cmd_export_csv(const Args& args) {
 // then cover gather/decide/scatter and batched inference as deployed.
 void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
                      const faults::FaultPlan* faults_plan = nullptr,
-                     core::DecisionBackend* backend = nullptr) {
+                     core::DecisionBackend* backend = nullptr,
+                     int scrape_port = 0) {
   constexpr int kStations = 4;
   phy::McsTable table;
   phy::ErrorModel em(&table);
@@ -260,7 +276,13 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
   cfg.seed = seed;
   cfg.keep_frame_logs = true;  // feeds the digest below
   cfg.backend = backend;
+  cfg.scrape_port = scrape_port;
   if (faults_plan != nullptr) cfg.faults = *faults_plan;
+  if (scrape_port > 0) {
+    std::printf("fleet scrape: http://127.0.0.1:%d/metrics (also /healthz, "
+                "/series.json)\n", scrape_port);
+    std::fflush(stdout);
+  }
   const sim::FleetResult result = sim::run_fleet(fleet, cfg);
   std::printf("fleet stage: %d stations, %lld ticks, %lld batched rows\n",
               kStations, static_cast<long long>(result.ticks),
@@ -284,7 +306,7 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
 
 int cmd_simulate(const Args& args) {
   args.require_known({"ba", "fat", "flow", "alpha", "seed", "metrics",
-                      "trace-out", "faults", "backend"});
+                      "trace-out", "faults", "backend", "scrape-port"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra simulate <train.ds> <eval.ds>\n");
     return 2;
@@ -327,8 +349,9 @@ int cmd_simulate(const Args& args) {
   // forces the fleet stage and serves its decide phase through a running
   // `libra serve` daemon.
   const std::string backend_spec = args.str("backend");
+  const int scrape_port = static_cast<int>(args.number("scrape-port", 0));
   if (args.flag("metrics") || !args.str("trace-out").empty() ||
-      args.flag("faults") || !backend_spec.empty()) {
+      args.flag("faults") || !backend_spec.empty() || scrape_port > 0) {
     std::optional<faults::FaultPlan> plan;
     if (args.flag("faults")) {
       plan = faults::demo_plan(
@@ -367,7 +390,7 @@ int cmd_simulate(const Args& args) {
     run_fleet_stage(classifier,
                     static_cast<std::uint64_t>(args.number("seed", 1)),
                     plan ? &*plan : nullptr,
-                    remote ? &*remote : nullptr);
+                    remote ? &*remote : nullptr, scrape_port);
   }
   dump_telemetry(args);
   return 0;
@@ -379,11 +402,11 @@ void handle_stop_signal(int) { g_stop_requested = 1; }
 
 int cmd_serve(const Args& args) {
   args.require_known({"socket", "port", "host", "workers", "metrics",
-                      "trace-out"});
+                      "metrics-port", "trace-out"});
   if (args.positional.empty()) {
     std::fprintf(stderr,
                  "usage: libra serve <forest> --socket PATH | --port N "
-                 "[--host H] [--workers N] [--metrics]\n");
+                 "[--host H] [--workers N] [--metrics] [--metrics-port N]\n");
     return 2;
   }
   const ml::RandomForest forest = ml::load_forest_file(args.positional[0]);
@@ -398,12 +421,36 @@ int cmd_serve(const Args& args) {
                  "ephemeral port)\n");
     return 2;
   }
+  // The daemon is trace process 2 ("libra-serve"): a merged Perfetto export
+  // then shows its rpc.server.* spans on their own track, nested under the
+  // controller's decide spans via the propagated trace ids.
+  obs::set_trace_process(2, "libra-serve");
   rpc::DecisionServer server(cfg);
   server.set_forest(forest);
   server.start();
   std::printf("serving %d-tree forest on %s (%d workers)\n",
               static_cast<int>(forest.trees().size()), server.address().c_str(),
               cfg.num_workers);
+
+  // --metrics-port N: the daemon's own observability tier -- an aggregator
+  // rolling up this process's registry, scraped at /metrics, /healthz,
+  // /series.json. Origin label matches what StatsAck reports.
+  std::unique_ptr<obs::Aggregator> aggregator;
+  std::unique_ptr<obs::ScrapeServer> scrape;
+  const int metrics_port = static_cast<int>(args.number("metrics-port", 0));
+  if (args.flag("metrics-port")) {
+    obs::AggregatorConfig agg_cfg;
+    agg_cfg.local_origin = cfg.stats_origin;
+    aggregator = std::make_unique<obs::Aggregator>(agg_cfg);
+    aggregator->rollup_now();
+    aggregator->start();
+    obs::ScrapeConfig scrape_cfg;
+    scrape_cfg.port = metrics_port;
+    scrape = std::make_unique<obs::ScrapeServer>(*aggregator, scrape_cfg);
+    scrape->start();
+    std::printf("metrics on http://%s/metrics (also /healthz, /series.json)\n",
+                scrape->address().c_str());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_stop_signal);
@@ -420,6 +467,137 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+// ---- libra top: live dashboard over /series.json ---------------------------
+
+// Last point of a ring series ([..] of numbers), or fallback when the
+// series is absent/empty (endpoint just started, no roll-up yet).
+double ring_last(const util::JsonValue* series, const char* key) {
+  if (series == nullptr) return 0.0;
+  const util::JsonValue* ring = series->find(key);
+  if (ring == nullptr || !ring->is_array() || ring->array.empty()) return 0.0;
+  return ring->array.back().number;
+}
+
+const util::JsonValue* find_metric(const util::JsonValue& origin,
+                                   const char* kind, const std::string& name) {
+  const util::JsonValue* k = origin.find(kind);
+  return k == nullptr ? nullptr : k->find(name);
+}
+
+void render_top_frame(const util::JsonValue& root, bool clear_screen) {
+  if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
+  const util::JsonValue* rollups = root.find("rollups");
+  std::printf("libra top -- %.0f roll-ups, period %.0f ms\n",
+              rollups != nullptr ? rollups->number : 0.0,
+              root.find("period_ms") != nullptr
+                  ? root.find("period_ms")->number : 0.0);
+  const util::JsonValue* origins = root.find("origins");
+  if (origins == nullptr || origins->object.empty()) {
+    std::printf("  (no series yet -- waiting for the first roll-up)\n");
+    std::fflush(stdout);
+    return;
+  }
+  util::Table t({"origin", "links/s", "tick p99 us", "degraded/s",
+                 "fallback/s", "req/s"});
+  for (const auto& [name, origin] : origins->object) {
+    t.add_row(
+        {name,
+         util::format_double(
+             ring_last(find_metric(origin, "counters", "fleet.link_frames"),
+                       "rate"), 0),
+         util::format_double(
+             ring_last(find_metric(origin, "histograms",
+                                   "fleet.tick_latency_us"), "p99"), 0),
+         util::format_double(
+             ring_last(find_metric(origin, "counters",
+                                   "controller.degraded_decisions"), "rate"),
+             1),
+         util::format_double(
+             ring_last(find_metric(origin, "counters", "rpc.outage_fallbacks"),
+                       "rate"), 1),
+         util::format_double(
+             ring_last(find_metric(origin, "counters", "rpc.server.requests"),
+                       "rate"), 0)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  // Per-MCS occupancy (frames transmitted per MCS index, cumulative):
+  // share-of-total bars across every origin that reports the counters.
+  for (const auto& [name, origin] : origins->object) {
+    const util::JsonValue* counters = origin.find("counters");
+    if (counters == nullptr) continue;
+    static constexpr char kPrefix[] = "controller.mcs_occupancy.";
+    double total = 0.0;
+    std::vector<std::pair<std::string, double>> occupancy;
+    for (const auto& [cname, series] : counters->object) {
+      if (cname.rfind(kPrefix, 0) != 0) continue;
+      const util::JsonValue* v = series.find("total");
+      const double frames = v != nullptr ? v->number : 0.0;
+      occupancy.emplace_back(cname.substr(sizeof(kPrefix) - 1), frames);
+      total += frames;
+    }
+    if (occupancy.empty() || total <= 0.0) continue;
+    std::printf("mcs occupancy (%s):\n", name.c_str());
+    for (const auto& [mcs, frames] : occupancy) {
+      const double share = frames / total;
+      const int bar = static_cast<int>(share * 40.0 + 0.5);
+      std::printf("  mcs %-3s %-40.*s %5.1f%%\n", mcs.c_str(), bar,
+                  "########################################", 100.0 * share);
+    }
+  }
+  std::fflush(stdout);
+}
+
+int cmd_top(const Args& args) {
+  args.require_known({"interval-ms", "once"});
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: libra top HOST:PORT [--interval-ms N] [--once]\n");
+    return 2;
+  }
+  const std::string& target = args.positional[0];
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 == target.size()) {
+    std::fprintf(stderr, "error: top expects HOST:PORT, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const int port = std::atoi(target.c_str() + colon + 1);
+  const double interval_ms = args.number("interval-ms", 1000.0);
+  const bool once = args.flag("once");
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (g_stop_requested == 0) {
+    const std::optional<obs::HttpResponse> resp =
+        obs::http_get(host, port, "/series.json");
+    if (!resp.has_value() || resp->status != 200) {
+      if (once) {
+        std::fprintf(stderr, "error: no scrape endpoint at %s\n",
+                     target.c_str());
+        return 1;
+      }
+      std::printf("waiting for scrape endpoint at %s...\n", target.c_str());
+      std::fflush(stdout);
+    } else {
+      try {
+        render_top_frame(util::parse_json(resp->body), /*clear_screen=*/!once);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: bad /series.json payload: %s\n",
+                     e.what());
+        return 1;
+      }
+      if (once) return 0;
+    }
+    const long long ns = static_cast<long long>(interval_ms * 1e6);
+    struct timespec ts{static_cast<time_t>(ns / 1000000000),
+                       static_cast<long>(ns % 1000000000)};
+    nanosleep(&ts, nullptr);
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
                "libra <command> ...\n"
@@ -432,9 +610,10 @@ void usage() {
                "  simulate <train.ds> <eval.ds> [--ba MS] [--fat MS] "
                "[--flow MS]\n"
                "            [--metrics] [--trace-out FILE] [--faults SEED]\n"
-               "            [--backend remote:ADDR]\n"
+               "            [--backend remote:ADDR] [--scrape-port N]\n"
                "  serve <forest> --socket PATH | --port N [--host H]\n"
-               "            [--workers N] [--metrics]\n");
+               "            [--workers N] [--metrics] [--metrics-port N]\n"
+               "  top HOST:PORT [--interval-ms N] [--once]\n");
 }
 
 }  // namespace
@@ -454,6 +633,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-csv") return cmd_export_csv(args);
     if (cmd == "simulate") return cmd_simulate(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "top") return cmd_top(args);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
