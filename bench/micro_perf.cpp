@@ -8,7 +8,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -35,6 +39,8 @@
 #include "sim/fleet.h"
 #include "trace/dataset.h"
 #include "util/fft.h"
+#include "util/simd.h"
+#include "util/stats.h"
 
 using namespace libra;
 
@@ -237,12 +243,124 @@ void BM_CompiledForestBatch(benchmark::State& state) {
       static_cast<double>(compiled.arena_bytes()) / 1024.0;
   state.counters["bit_identical"] =
       compiled.vote_fractions_batch(data) == rf.vote_fractions_batch(data);
+  // Which kernel actually served the batch -- the gate prints this, so a
+  // baseline refresh on a different runner is explainable.
+  state.SetLabel(util::simd::isa_name(compiled.dispatch_isa()));
 }
 BENCHMARK(BM_CompiledForestBatch)
     ->Args({256, 20})
     ->Args({256, 60})
     ->Args({1024, 60})
     ->Args({4096, 60})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+ml::ThresholdPrecision precision_arg(std::int64_t v) {
+  switch (v) {
+    case 1: return ml::ThresholdPrecision::kFloat;
+    case 2: return ml::ThresholdPrecision::kInt16;
+    default: return ml::ThresholdPrecision::kDouble;
+  }
+}
+
+// Map every feature onto an integer grid of `levels` steps across its
+// observed range. kInt16 compilation (correctly) rejects forests whose
+// thresholds sit closer together than its quantization step, which a
+// forest trained on raw continuous readings rarely avoids; firmware
+// front-ends shipping integer-quantized readings do. Integer grid values
+// keep the trees' midpoint thresholds exact in floating point (halves of
+// integer sums), so mathematically-equal thresholds from different value
+// pairs stay bit-identical instead of landing one ulp apart — the
+// reduced-precision grid points bench the workload those modes are built
+// for.
+ml::DataSet grid_quantize(const ml::DataSet& src, int levels) {
+  const std::size_t nf = src.num_features();
+  std::vector<double> lo(nf, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(nf, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const auto row = src.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      lo[f] = std::min(lo[f], row[f]);
+      hi[f] = std::max(hi[f], row[f]);
+    }
+  }
+  ml::DataSet out(nf);
+  out.reserve(src.size());
+  std::vector<double> q(nf);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const auto row = src.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double span = hi[f] - lo[f];
+      q[f] = span > 0.0 ? std::round((row[f] - lo[f]) / span * levels)
+                        : 0.0;
+    }
+    out.add(q, src.label(i));
+  }
+  return out;
+}
+
+// The dispatched traversal kernels against the forced-scalar group walk on
+// one serving-shaped grid point. Args = {rows, trees, precision (0=double,
+// 1=float, 2=int16), force_scalar}; the scalar rows are the denominators
+// of the SIMD speedup the CI gate tracks, and the label records the
+// dispatched ISA. `votes_match` replays the batch argmax against the
+// double-mode scalar walk -- the cross-precision tolerance contract in
+// ml/compiled_forest.h -- and `bit_identical` checks dispatch vs forced
+// scalar within the same precision, which must match exactly.
+void BM_SimdForestBatch(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = static_cast<int>(state.range(1));
+  cfg.num_threads = 1;
+  ml::RandomForest rf(cfg);
+  util::Rng rng(4);
+  ml::CompiledForestConfig ccfg;
+  ccfg.precision = precision_arg(state.range(2));
+  // Both reduced-precision grid points run on the grid-quantized workload
+  // they are built for: integer grid values keep the trees' midpoint
+  // thresholds exactly representable, so kInt16 compiles (no ordering
+  // collapse) and kFloat narrows rows without one-ulp flips — votes_match
+  // must come back 1. kDouble stays on the raw continuous readings.
+  const bool reduced = ccfg.precision != ml::ThresholdPrecision::kDouble;
+  const ml::DataSet train =
+      reduced ? grid_quantize(f.train_ds, 512) : f.train_ds;
+  rf.fit(train, rng);
+  const ml::CompiledForest compiled(rf, ccfg);
+  const ml::DataSet data =
+      replicate_rows(train, static_cast<std::size_t>(state.range(0)));
+  std::optional<util::simd::ScopedForceScalar> guard;
+  if (state.range(3) != 0) guard.emplace();
+  state.SetLabel(util::simd::isa_name(compiled.dispatch_isa()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiled.vote_fractions_batch(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsRate);
+  state.counters["arena_kb"] =
+      static_cast<double>(compiled.arena_bytes()) / 1024.0;
+  const std::vector<ml::Label> dispatched = compiled.predict_batch(data);
+  state.counters["votes_match"] = [&] {
+    const ml::CompiledForest reference(rf);  // kDouble
+    util::simd::ScopedForceScalar scalar;
+    return dispatched == reference.predict_batch(data);
+  }();
+  const std::vector<std::vector<double>> fracs =
+      compiled.vote_fractions_batch(data);
+  state.counters["bit_identical"] = [&] {
+    util::simd::ScopedForceScalar scalar;
+    return fracs == compiled.vote_fractions_batch(data);
+  }();
+}
+BENCHMARK(BM_SimdForestBatch)
+    ->Args({4096, 60, 0, 0})
+    ->Args({4096, 60, 0, 1})
+    ->Args({4096, 60, 1, 0})
+    ->Args({4096, 60, 1, 1})
+    ->Args({4096, 60, 2, 0})
+    ->Args({4096, 60, 2, 1})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
@@ -647,6 +765,93 @@ void BM_Fft256(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fft256);
+
+// The vectorized feature-extraction kernels against their forced-scalar
+// references. Arg = force_scalar; every variant labels the dispatched ISA
+// and asserts bit-parity against the scalar path (the contract in
+// util/simd.h -- these kernels may only dispatch if they cannot change a
+// single bit).
+
+// 256-point PDP -> CSI magnitude spectrum, the util/fft.cpp hot path of
+// extract_features' "FFT PDP Similarity".
+void BM_SimdFft(benchmark::State& state) {
+  std::optional<util::simd::ScopedForceScalar> guard;
+  if (state.range(0) != 0) guard.emplace();
+  state.SetLabel(util::simd::active_isa_name());
+  std::vector<double> pdp(256, 1e-9);
+  pdp[10] = 1e-3;
+  pdp[40] = 1e-5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::magnitude_spectrum(pdp));
+  }
+  const std::vector<double> dispatched = util::magnitude_spectrum(pdp);
+  state.counters["bit_identical"] = [&] {
+    util::simd::ScopedForceScalar scalar;
+    return dispatched == util::magnitude_spectrum(pdp);
+  }();
+}
+BENCHMARK(BM_SimdFft)->Arg(0)->Arg(1);
+
+// Pearson correlation over two aligned 256-tap PDPs -- the similarity
+// kernel extract_features runs per frame for both PDP and CSI similarity.
+void BM_PearsonSimilarity(benchmark::State& state) {
+  std::optional<util::simd::ScopedForceScalar> guard;
+  if (state.range(0) != 0) guard.emplace();
+  state.SetLabel(util::simd::active_isa_name());
+  std::vector<double> a(256), b(256);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = std::sin(0.11 * static_cast<double>(i));
+    b[i] = std::sin(0.11 * static_cast<double>(i) + 0.2) +
+           0.003 * static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::pearson(a, b));
+  }
+  const double dispatched = util::pearson(a, b);
+  state.counters["bit_identical"] = [&] {
+    util::simd::ScopedForceScalar scalar;
+    return dispatched == util::pearson(a, b);
+  }();
+}
+BENCHMARK(BM_PearsonSimilarity)->Arg(0)->Arg(1);
+
+// Batched CDF queries: 1024 lookups (P(X <= x)) plus 1024 inverse-CDF
+// interpolations against a 4096-sample empirical CDF per iteration -- the
+// per-metric CDF math of the analysis/eval figures in one shot.
+void BM_CdfBatch(benchmark::State& state) {
+  std::optional<util::simd::ScopedForceScalar> guard;
+  if (state.range(0) != 0) guard.emplace();
+  state.SetLabel(util::simd::active_isa_name());
+  std::vector<double> samples(4096);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = std::sin(0.37 * static_cast<double>(i)) * 40.0 - 60.0;
+  }
+  const util::EmpiricalCdf cdf(std::move(samples));
+  std::vector<double> xs(1024), qs(1024);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = -100.0 + 0.08 * static_cast<double>(i);
+    qs[i] = static_cast<double>(i) / 1023.0;
+  }
+  std::vector<double> probs(xs.size()), values(qs.size());
+  for (auto _ : state) {
+    cdf.at_many(xs, probs);
+    cdf.quantile_many(qs, values);
+    benchmark::DoNotOptimize(probs.data());
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size() + qs.size()));
+  cdf.at_many(xs, probs);
+  cdf.quantile_many(qs, values);
+  state.counters["bit_identical"] = [&] {
+    util::simd::ScopedForceScalar scalar;
+    std::vector<double> p2(xs.size()), v2(qs.size());
+    cdf.at_many(xs, p2);
+    cdf.quantile_many(qs, v2);
+    return probs == p2 && values == v2;
+  }();
+}
+BENCHMARK(BM_CdfBatch)->Arg(0)->Arg(1);
 
 void BM_SimulatedEvent(benchmark::State& state) {
   auto& f = Fixture::get();

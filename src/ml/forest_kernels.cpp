@@ -1,0 +1,345 @@
+// Vectorized forest-traversal kernels over the packed arena. See
+// forest_kernels.h for the reference semantics and the bit-parity
+// argument; everything here is compare/index-only (no FP arithmetic), so
+// parity with the scalar walk needs no summation-schedule tricks -- the
+// kernels just have to issue the same comparisons.
+#include "ml/forest_kernels.h"
+
+#include <type_traits>
+
+#if LIBRA_SIMD_X86
+#include <immintrin.h>
+#endif
+#if LIBRA_SIMD_NEON
+#include <arm_neon.h>
+#endif
+
+namespace libra::ml::kernels {
+
+#if LIBRA_SIMD_X86
+
+// The kernels are compiled with per-function target attributes instead of
+// a global -mavx2 so the rest of the object (and every other TU) stays
+// baseline x86-64: the binary must run, and fall back to scalar, on
+// pre-AVX2 hosts. Neither baseline x86-64 nor target("avx2") includes
+// FMA, so no mul+add here or elsewhere can be contracted.
+#define LIBRA_AVX2_FN __attribute__((target("avx2")))
+
+// GCC expands the maskless gather intrinsics with an undef merge operand
+// and flags it -Wmaybe-uninitialized at every inlined call site; the
+// all-ones mask overwrites every lane, so nothing uninitialized is read.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace {
+
+// Sign-extend the low 16 bits of each 32-bit lane.
+LIBRA_AVX2_FN inline __m256i sext16(__m256i v) {
+  return _mm256_srai_epi32(_mm256_slli_epi32(v, 16), 16);
+}
+
+// Gather 8 int16 values (int16 thresholds) through the 32-bit gather at
+// byte offset 2*index. Each load reads 4 bytes, so the final arena element
+// needs one int16 of trailing padding -- CompiledForest allocates it (see
+// arena preconditions in the header).
+LIBRA_AVX2_FN inline __m256i gather_i16(const std::int16_t* base,
+                                        __m256i idx) {
+  return sext16(
+      _mm256_i32gather_epi32(reinterpret_cast<const int*>(base), idx, 2));
+}
+
+// True once every lane's meta word is a leaf label (< 0).
+LIBRA_AVX2_FN inline bool all_leaves(__m256i word) {
+  const __m256i neg = _mm256_cmpgt_epi32(_mm256_setzero_si256(), word);
+  return _mm256_movemask_ps(_mm256_castsi256_ps(neg)) == 0xFF;
+}
+
+LIBRA_AVX2_FN inline void store_labels(__m256i word, int* labels) {
+  const __m256i lab = _mm256_sub_epi32(_mm256_set1_epi32(-1), word);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(labels), lab);
+}
+
+// Lane offsets of the 8 interleaved rows: lane k reads row k of the group,
+// rows are `stride` elements apart. stride * 7 + num_features always fits
+// int32 (feature vectors are tiny); node indices fit by the < 2^30 arena
+// precondition.
+LIBRA_AVX2_FN inline __m256i make_row_off(std::size_t stride) {
+  const int s = static_cast<int>(stride);
+  return _mm256_setr_epi32(0, s, 2 * s, 3 * s, 4 * s, 5 * s, 6 * s, 7 * s);
+}
+
+// W groups of 8 rows through one tree, one 32-bit lane per row, all W
+// vector states advanced in the same loop. One group alone is as
+// latency-bound as one scalar row: every level is a dependent
+// gather -> compare -> gather chain, and the out-of-order window has
+// nothing to overlap it with (the scalar walk, by contrast, keeps 8
+// independent scalar chains in flight -- this W-way form restores that ILP
+// on the vector side). With W independent states the gathers of one group
+// execute under the latency of another's, turning the walk
+// throughput-bound at ~3 gathers per level. Group g's rows start at
+// rows + g*8*stride.
+//
+// Per-lane step, identical to walk_tree_packed on the same row:
+//   f        = meta & 0xff            (clamped to 0 on parked lanes so the
+//                                      dummy row read stays in bounds)
+//   go_right = x[f] <= thr[idx] ? 0 : 1   (_CMP_LE_OQ is false on NaN,
+//                                      exactly like the scalar <=; int16
+//                                      mode uses the signed > compare)
+//   idx     += (meta >> 8) + go_right     (masked to 0 on parked lanes, so
+//                                      a finished row self-loops)
+// A state that parks early keeps self-looping until the slowest state
+// finishes; the wasted gathers touch only in-bounds leaf words and change
+// nothing. Votes are per-row, so how rows are grouped cannot alter the
+// counts.
+template <typename Threshold, typename Row, int W>
+LIBRA_AVX2_FN void walk_groups(const std::int32_t* meta, const Threshold* thr,
+                               std::uint32_t root, const Row* rows,
+                               std::size_t stride, int* labels) {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i fmask = _mm256_set1_epi32(0xff);
+  const __m256i row_off = make_row_off(stride);
+  const Row* base[W];
+  for (int w = 0; w < W; ++w) {
+    base[w] = rows + static_cast<std::size_t>(w) * 8 * stride;
+  }
+  __m256i idx[W];
+  __m256i word[W];
+  const __m256i root_v = _mm256_set1_epi32(static_cast<int>(root));
+  const __m256i root_word = _mm256_set1_epi32(meta[root]);
+  for (int w = 0; w < W; ++w) {
+    idx[w] = root_v;
+    word[w] = root_word;
+  }
+  for (;;) {
+    bool done = true;
+    for (int w = 0; w < W; ++w) done &= all_leaves(word[w]);
+    if (done) break;
+    for (int w = 0; w < W; ++w) {
+      const __m256i notleaf = _mm256_cmpgt_epi32(word[w], _mm256_set1_epi32(-1));
+      const __m256i f =
+          _mm256_and_si256(_mm256_max_epi32(word[w], zero), fmask);
+      const __m256i xi = _mm256_add_epi32(row_off, f);
+      __m256i go_right;
+      if constexpr (std::is_same_v<Row, float>) {
+        const __m256 x = _mm256_i32gather_ps(base[w], xi, 4);
+        const __m256 t = _mm256_i32gather_ps(thr, idx[w], 4);
+        const __m256 le = _mm256_cmp_ps(x, t, _CMP_LE_OQ);
+        go_right = _mm256_andnot_si256(_mm256_castps_si256(le), one);
+      } else {
+        // Quantized mode: pre-quantized int32 rows vs int16 thresholds,
+        // `x <= t ? left : right` as one signed compare-greater. Sentinels
+        // INT32_MIN/INT32_MAX sort below/above every threshold, matching
+        // the scalar compare against -inf / {NaN, +inf}.
+        const __m256i x = _mm256_i32gather_epi32(base[w], xi, 4);
+        const __m256i t = gather_i16(thr, idx[w]);
+        go_right = _mm256_and_si256(_mm256_cmpgt_epi32(x, t), one);
+      }
+      const __m256i step = _mm256_and_si256(
+          _mm256_add_epi32(_mm256_srai_epi32(word[w], 8), go_right), notleaf);
+      idx[w] = _mm256_add_epi32(idx[w], step);
+      word[w] = _mm256_i32gather_epi32(meta, idx[w], 4);
+    }
+  }
+  for (int w = 0; w < W; ++w) store_labels(word[w], labels + 8 * w);
+}
+
+// Groups kept in flight per walk. 4 states x (idx, word) plus temporaries
+// fit the 16 ymm registers without spilling; going wider starts trading
+// spills for overlap.
+constexpr int kInFlight = 4;
+
+// Driver: super-groups of kInFlight*8 rows run the W-way walk, leftover
+// full groups of 8 a 1-way walk, and the block tail (num_rows % 8) the
+// scalar packed walk -- covering any batch size with the same per-row
+// comparisons throughout.
+template <typename Threshold, typename Row>
+LIBRA_AVX2_FN void accumulate_avx2(const std::int32_t* meta,
+                                   const Threshold* thr,
+                                   const std::uint32_t* roots,
+                                   std::size_t num_trees, const Row* rows,
+                                   std::size_t stride, int num_rows,
+                                   std::uint32_t* votes, int num_classes) {
+  constexpr int kSuper = kInFlight * kGroup;
+  int labels[kSuper];
+  const int full = num_rows - num_rows % kGroup;
+  const int super = num_rows - num_rows % kSuper;
+  const auto bump = [&](int row0, int count) {
+    for (int k = 0; k < count; ++k) {
+      ++votes[static_cast<std::size_t>(row0 + k) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(labels[k])];
+    }
+  };
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    int r = 0;
+    for (; r < super; r += kSuper) {
+      walk_groups<Threshold, Row, kInFlight>(
+          meta, thr, roots[t], rows + static_cast<std::size_t>(r) * stride,
+          stride, labels);
+      bump(r, kSuper);
+    }
+    for (; r < full; r += kGroup) {
+      walk_groups<Threshold, Row, 1>(
+          meta, thr, roots[t], rows + static_cast<std::size_t>(r) * stride,
+          stride, labels);
+      bump(r, kGroup);
+    }
+    for (int k = full; k < num_rows; ++k) {
+      ++votes[static_cast<std::size_t>(k) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(walk_tree_packed(
+                  meta, thr, roots[t],
+                  rows + static_cast<std::size_t>(k) * stride))];
+    }
+  }
+}
+
+}  // namespace
+
+void accumulate_block_avx2(const std::int32_t* meta, const float* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const float* rows, std::size_t stride, int num_rows,
+                           std::uint32_t* votes, int num_classes) {
+  accumulate_avx2(meta, thr, roots, num_trees, rows, stride, num_rows, votes,
+                  num_classes);
+}
+
+void accumulate_block_avx2(const std::int32_t* meta, const std::int16_t* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const std::int32_t* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes) {
+  accumulate_avx2(meta, thr, roots, num_trees, rows, stride, num_rows, votes,
+                  num_classes);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // LIBRA_SIMD_X86
+
+#if LIBRA_SIMD_NEON
+
+namespace {
+
+// 4 rows of one group through one tree, one 32-bit lane per row. NEON has
+// no gather, so the per-lane loads are explicit lane inserts; the compare,
+// branch-select and masked advance still run vector-wide, and two of these
+// walks interleave per 8-row group so the load chains overlap. Lane maths
+// is identical to walk_tree_packed (and to the AVX2 lanes): f = meta&0xff
+// clamped on parked lanes, `x <= thr ? left : right`, advance masked to 0
+// once a lane parks.
+template <typename Threshold, typename Row>
+void walk4_packed(const std::int32_t* meta, const Threshold* thr,
+                  std::uint32_t root, const Row* rows, int32x4_t lane_off,
+                  int* labels) {
+  const int32x4_t zero = vdupq_n_s32(0);
+  const int32x4_t one = vdupq_n_s32(1);
+  const int32x4_t fmask = vdupq_n_s32(0xff);
+  int32x4_t idx = vdupq_n_s32(static_cast<std::int32_t>(root));
+  int32x4_t word = vdupq_n_s32(meta[root]);
+  while (vmaxvq_s32(word) >= 0) {
+    const uint32x4_t notleaf = vcgeq_s32(word, zero);
+    const int32x4_t f = vandq_s32(vmaxq_s32(word, zero), fmask);
+    const int32x4_t xi = vaddq_s32(lane_off, f);
+    std::int32_t ib[4];
+    std::int32_t xb[4];
+    vst1q_s32(ib, idx);
+    vst1q_s32(xb, xi);
+    uint32x4_t le;
+    if constexpr (std::is_same_v<Row, float>) {
+      float32x4_t x = vdupq_n_f32(0.0f);
+      float32x4_t t = vdupq_n_f32(0.0f);
+      x = vsetq_lane_f32(rows[xb[0]], x, 0);
+      x = vsetq_lane_f32(rows[xb[1]], x, 1);
+      x = vsetq_lane_f32(rows[xb[2]], x, 2);
+      x = vsetq_lane_f32(rows[xb[3]], x, 3);
+      t = vsetq_lane_f32(thr[ib[0]], t, 0);
+      t = vsetq_lane_f32(thr[ib[1]], t, 1);
+      t = vsetq_lane_f32(thr[ib[2]], t, 2);
+      t = vsetq_lane_f32(thr[ib[3]], t, 3);
+      le = vcleq_f32(x, t);  // false on NaN, exactly like the scalar <=
+    } else {
+      int32x4_t x = vdupq_n_s32(0);
+      int32x4_t t = vdupq_n_s32(0);
+      x = vsetq_lane_s32(rows[xb[0]], x, 0);
+      x = vsetq_lane_s32(rows[xb[1]], x, 1);
+      x = vsetq_lane_s32(rows[xb[2]], x, 2);
+      x = vsetq_lane_s32(rows[xb[3]], x, 3);
+      t = vsetq_lane_s32(thr[ib[0]], t, 0);
+      t = vsetq_lane_s32(thr[ib[1]], t, 1);
+      t = vsetq_lane_s32(thr[ib[2]], t, 2);
+      t = vsetq_lane_s32(thr[ib[3]], t, 3);
+      le = vcleq_s32(x, t);
+    }
+    const int32x4_t go_right = vbicq_s32(one, vreinterpretq_s32_u32(le));
+    const int32x4_t step = vandq_s32(
+        vaddq_s32(vshrq_n_s32(word, 8), go_right),
+        vreinterpretq_s32_u32(notleaf));
+    idx = vaddq_s32(idx, step);
+    std::int32_t nb[4];
+    vst1q_s32(nb, idx);
+    int32x4_t next = vdupq_n_s32(0);
+    next = vsetq_lane_s32(meta[nb[0]], next, 0);
+    next = vsetq_lane_s32(meta[nb[1]], next, 1);
+    next = vsetq_lane_s32(meta[nb[2]], next, 2);
+    next = vsetq_lane_s32(meta[nb[3]], next, 3);
+    word = next;
+  }
+  const int32x4_t lab = vsubq_s32(vdupq_n_s32(-1), word);
+  vst1q_s32(labels, lab);
+}
+
+template <typename Threshold, typename Row>
+void accumulate_neon(const std::int32_t* meta, const Threshold* thr,
+                     const std::uint32_t* roots, std::size_t num_trees,
+                     const Row* rows, std::size_t stride, int num_rows,
+                     std::uint32_t* votes, int num_classes) {
+  int labels[kGroup];
+  const int full = num_rows - num_rows % kGroup;
+  const int s = static_cast<int>(stride);
+  const int32x4_t off_lo = {0, s, 2 * s, 3 * s};
+  const int32x4_t off_hi = {4 * s, 5 * s, 6 * s, 7 * s};
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (int r = 0; r < full; r += kGroup) {
+      const Row* block = rows + static_cast<std::size_t>(r) * stride;
+      walk4_packed(meta, thr, roots[t], block, off_lo, labels);
+      walk4_packed(meta, thr, roots[t], block, off_hi, labels + 4);
+      for (int k = 0; k < kGroup; ++k) {
+        ++votes[static_cast<std::size_t>(r + k) *
+                    static_cast<std::size_t>(num_classes) +
+                static_cast<std::size_t>(labels[k])];
+      }
+    }
+    for (int k = full; k < num_rows; ++k) {
+      ++votes[static_cast<std::size_t>(k) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(walk_tree_packed(
+                  meta, thr, roots[t],
+                  rows + static_cast<std::size_t>(k) * stride))];
+    }
+  }
+}
+
+}  // namespace
+
+void accumulate_block_neon(const std::int32_t* meta, const float* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const float* rows, std::size_t stride, int num_rows,
+                           std::uint32_t* votes, int num_classes) {
+  accumulate_neon(meta, thr, roots, num_trees, rows, stride, num_rows, votes,
+                  num_classes);
+}
+
+void accumulate_block_neon(const std::int32_t* meta, const std::int16_t* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const std::int32_t* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes) {
+  accumulate_neon(meta, thr, roots, num_trees, rows, stride, num_rows, votes,
+                  num_classes);
+}
+
+#endif  // LIBRA_SIMD_NEON
+
+}  // namespace libra::ml::kernels

@@ -1,0 +1,220 @@
+// Forest-traversal kernels over CompiledForest's flat arenas.
+//
+// The scalar walkers here are the reference semantics: one load-compare-
+// index chain per level, leaf labels folded into the node word, a group
+// of kGroup interleaved rows advancing in lockstep with finished rows
+// parked on their leaves. Two arena shapes exist:
+//
+//   - the canonical arena (feature / thr / child arrays) that every
+//     precision mode walks on the scalar paths, with kDouble as the
+//     bit-exact reference against the interpreted forest;
+//   - the packed arena (one int32 meta word per node + a threshold array)
+//     that the vector kernels walk for the kFloat / kInt16 modes. The meta
+//     word folds the split feature (low 8 bits) and the BFS left-child
+//     offset (upper bits) of an internal node, or the leaf label as
+//     -1 - label (word < 0 <=> leaf), halving the per-level gather count:
+//     meta + threshold + row value instead of feature + threshold + row +
+//     child. BFS packing places a node's two children in adjacent slots,
+//     so right = left + 1 and the branch decision is an add, not a load.
+//
+// Every vector kernel performs exactly the comparisons the scalar walk of
+// the same precision mode performs (same operands, same <= predicate, NaN
+// ordering included), and votes are integer counts, so kernel choice never
+// changes results: scalar, AVX2 and NEON paths are bit-identical per
+// precision mode. Rows are doubles for the double mode, narrowed-to-float
+// for the float mode (the narrowing is shared: the scalar walk narrows per
+// comparison, the batch path narrows the block once — same IEEE rounding,
+// same value), and pre-quantized int32 for the int16 mode (quantization is
+// shared scalar code in compiled_forest.cpp, so the vector path cannot
+// round differently).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/simd.h"
+
+namespace libra::ml::kernels {
+
+// Rows interleaved per group sweep. The AVX2 kernels use exactly 8 (one
+// 32-bit lane each); the scalar walkers are templated but always
+// instantiated at 8 so grouping is identical across paths.
+inline constexpr int kGroup = 8;
+
+// The one comparison of the walk, per precision mode. kFloat narrows the
+// row value to float and compares in float — one rounding on each operand,
+// both performed identically by the scalar and vector paths (see the
+// precision contract in compiled_forest.h). The other modes compare
+// directly (int16 thresholds promote to int against int32 rows).
+template <typename Threshold, typename Row>
+inline bool goes_left(Row x, Threshold t) {
+  if constexpr (std::is_same_v<Threshold, float> &&
+                std::is_same_v<Row, double>) {
+    return static_cast<float>(x) <= t;
+  } else {
+    return x <= t;
+  }
+}
+
+// One row through one tree. Leaf labels ride in the feature word, so the
+// loop exit test doubles as the vote read. The comparison result indexes
+// into the child pair instead of selecting between two loads -- no
+// data-dependent branch to mispredict, one load instead of two.
+template <typename Threshold, typename Row>
+inline int walk_tree(const std::int16_t* feature, const Threshold* thr,
+                     const std::int32_t* child, std::size_t idx,
+                     const Row* row) {
+  std::int16_t f = feature[idx];
+  while (f >= 0) {
+    const std::size_t go_right = goes_left(row[f], thr[idx]) ? 0 : 1;
+    idx += static_cast<std::size_t>(child[2 * idx + go_right]);
+    f = feature[idx];
+  }
+  return -1 - f;
+}
+
+// One row through one tree over the packed arena. Same decisions as
+// walk_tree on the same forest: the meta word is just feature + left
+// offset (or the leaf label) re-encoded, and right = left + 1 by BFS
+// adjacency. Row values arrive pre-narrowed / pre-quantized, so the
+// comparison is direct.
+template <typename Threshold, typename Row>
+inline int walk_tree_packed(const std::int32_t* meta, const Threshold* thr,
+                            std::size_t idx, const Row* row) {
+  std::int32_t m = meta[idx];
+  while (m >= 0) {
+    const std::size_t go_right = row[m & 0xff] <= thr[idx] ? 0 : 1;
+    idx += static_cast<std::size_t>(m >> 8) + go_right;
+    m = meta[idx];
+  }
+  return -1 - m;
+}
+
+// A group of G rows through one tree together. A lone walk is
+// latency-bound -- every level is a dependent load->compare->index chain --
+// so interleaving G independent rows lets the core overlap the chains. A
+// finished row parks on its leaf: leaf child offsets are both 0, stepping
+// it is a no-op (its cached feature word is clamped so the dummy feature
+// read stays in bounds), and the group spins only until every row has
+// parked -- cheap here because trees are depth-capped, so park times are
+// close. Evaluation order over (tree, row) changes versus the serial walk
+// but the integer vote counts are order-invariant, so batch results stay
+// bit-identical.
+template <typename Threshold, typename Row, int G>
+inline void walk_group(const std::int16_t* feature, const Threshold* thr,
+                       const std::int32_t* child, std::size_t root,
+                       const Row* rows, std::size_t stride, int* labels) {
+  std::size_t idx[G];
+  std::int16_t word[G];  // feature word at idx[k], cached across sweeps
+  const std::int16_t root_word = feature[root];
+  for (int k = 0; k < G; ++k) {
+    idx[k] = root;
+    word[k] = root_word;
+  }
+  bool active = root_word >= 0;
+  while (active) {
+    bool any = false;
+    for (int k = 0; k < G; ++k) {
+      const std::int16_t f = word[k];
+      const std::size_t safe_f = static_cast<std::size_t>(f >= 0 ? f : 0);
+      const std::size_t i = idx[k];
+      const std::size_t go_right =
+          goes_left(rows[static_cast<std::size_t>(k) * stride + safe_f],
+                    thr[i])
+              ? 0
+              : 1;
+      const std::size_t next =
+          i + static_cast<std::size_t>(child[2 * i + go_right]);
+      idx[k] = next;
+      word[k] = feature[next];
+      any |= word[k] >= 0;
+    }
+    active = any;
+  }
+  for (int k = 0; k < G; ++k) labels[k] = -1 - word[k];
+}
+
+// One row block through the whole forest, trees outermost so a tree's
+// upper levels stay cache-hot across the block. rows points at the block's
+// first row (stride elements apart), votes is row-major
+// [num_rows x num_classes]. Full groups run the fixed-size walk (the
+// constant trip count keeps the interleaved state in registers); the block
+// tail walks serially, so a 1-row batch costs exactly one walk per tree.
+template <typename Threshold, typename Row>
+void accumulate_block(const std::int16_t* feature, const Threshold* thr,
+                      const std::int32_t* child, const std::uint32_t* roots,
+                      std::size_t num_trees, const Row* rows,
+                      std::size_t stride, int num_rows, std::uint32_t* votes,
+                      int num_classes) {
+  int labels[kGroup];
+  const int full = num_rows - num_rows % kGroup;
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (int r = 0; r < full; r += kGroup) {
+      walk_group<Threshold, Row, kGroup>(
+          feature, thr, child, roots[t],
+          rows + static_cast<std::size_t>(r) * stride, stride, labels);
+      for (int k = 0; k < kGroup; ++k) {
+        ++votes[static_cast<std::size_t>(r + k) *
+                    static_cast<std::size_t>(num_classes) +
+                static_cast<std::size_t>(labels[k])];
+      }
+    }
+    for (int k = full; k < num_rows; ++k) {
+      ++votes[static_cast<std::size_t>(k) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(walk_tree(
+                  feature, thr, child, roots[t],
+                  rows + static_cast<std::size_t>(k) * stride))];
+    }
+  }
+}
+
+// Vectorized accumulate_block instances over the packed arena, one lane
+// per interleaved row. Per tree level each lane costs three gathers (meta
+// word, threshold, row value) plus a handful of cheap vector ALU ops; the
+// walkers keep several 8-row groups in flight so the gather latency of one
+// group hides under another's (a single group is as latency-bound as a
+// single scalar chain). Arena preconditions (enforced by CompiledForest
+// before dispatch, via its simd-eligibility flag):
+//   - node count < 2^30 so every 32-bit lane index stays in int32 range;
+//   - meta words: internal = (left_offset << 8) | feature with feature
+//     <= 0xff and 0 < left_offset < 2^23, leaf = -1 - label (< 0), and the
+//     leaf self-loop relies on the masked advance (not on zero offsets);
+//   - the int16 threshold arena carries one trailing padding element,
+//     because the 32-bit gather that reads a 16-bit word overreads 2 bytes
+//     at the last node;
+//   - kFloat rows are pre-narrowed float, kInt16 rows pre-quantized int32
+//     (sentinels INT32_MIN / INT32_MAX encode -inf / {NaN, +inf} so
+//     non-finite rows branch exactly like the scalar compare).
+// Group tails (num_rows % 8) run walk_tree_packed, so any batch size is
+// covered. kDouble has no vector kernel: it is the bit-exact reference
+// mode, and on measured hardware 64-bit gathers lose to the interleaved
+// scalar walk — CompiledForest always walks it scalar.
+#if LIBRA_SIMD_X86
+void accumulate_block_avx2(const std::int32_t* meta, const float* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const float* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes);
+void accumulate_block_avx2(const std::int32_t* meta, const std::int16_t* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const std::int32_t* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes);
+#endif
+
+#if LIBRA_SIMD_NEON
+void accumulate_block_neon(const std::int32_t* meta, const float* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const float* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes);
+void accumulate_block_neon(const std::int32_t* meta, const std::int16_t* thr,
+                           const std::uint32_t* roots, std::size_t num_trees,
+                           const std::int32_t* rows, std::size_t stride,
+                           int num_rows, std::uint32_t* votes,
+                           int num_classes);
+#endif
+
+}  // namespace libra::ml::kernels

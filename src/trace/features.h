@@ -13,6 +13,11 @@
 //   CDR                  codeword delivery ratio at the initial MCS, on the
 //                        initial pair, at the current state
 //   Initial MCS          the best MCS before the impairment
+//
+// The similarity metrics ride on runtime-dispatched vector kernels
+// (util::pearson and the FFT behind magnitude_spectrum — see util/simd.h);
+// every kernel is bit-identical to its scalar loop, so extracted features
+// and everything downstream (forest votes, fleet digests) are ISA-invariant.
 #pragma once
 
 #include <algorithm>

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "util/cli.h"
 #include "util/fft.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -493,6 +495,63 @@ TEST(Fft, MagnitudeSpectrumPadsAndHalves) {
 
 TEST(Fft, MagnitudeSpectrumEmptyInput) {
   EXPECT_TRUE(magnitude_spectrum({}).empty());
+}
+
+// ---------- SIMD dispatch parity ----------
+// The vectorized stats/FFT kernels promise bit-identical results to their
+// scalar loops, so fleet digests cannot move with the dispatched ISA.
+// These run the same inputs through the auto dispatch and the forced-scalar
+// override and require exact equality.
+
+TEST(SimdParity, CdfBatchQueriesBitIdenticalToScalar) {
+  Rng rng(7);
+  std::vector<double> samples(257);  // odd size: exercises remainder lanes
+  for (auto& s : samples) s = rng.gaussian(0, 5);
+  const EmpiricalCdf cdf(samples);
+  std::vector<double> xs(131), qs(131);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian(0, 8);
+    qs[i] = rng.uniform(-0.2, 1.2);  // quantile_many clamps out-of-range
+  }
+  xs[3] = std::numeric_limits<double>::quiet_NaN();  // counted below min
+  std::vector<double> at_auto(xs.size()), q_auto(qs.size());
+  cdf.at_many(xs, at_auto);
+  cdf.quantile_many(qs, q_auto);
+  // Batched queries agree with the one-at-a-time reference API.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (std::isnan(xs[i])) continue;
+    EXPECT_EQ(at_auto[i], cdf.at(xs[i])) << "i=" << i;
+  }
+  simd::ScopedForceScalar scalar;
+  std::vector<double> at_ref(xs.size()), q_ref(qs.size());
+  cdf.at_many(xs, at_ref);
+  cdf.quantile_many(qs, q_ref);
+  EXPECT_EQ(at_auto, at_ref);
+  EXPECT_EQ(q_auto, q_ref);
+}
+
+TEST(SimdParity, PearsonBitIdenticalToScalar) {
+  Rng rng(8);
+  for (const int n : {1, 3, 4, 7, 64, 129}) {
+    std::vector<double> a(static_cast<std::size_t>(n));
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(i)] = rng.gaussian(0, 3);
+      b[static_cast<std::size_t>(i)] = rng.gaussian(1, 2);
+    }
+    const double auto_r = pearson(a, b);
+    simd::ScopedForceScalar scalar;
+    EXPECT_EQ(auto_r, pearson(a, b)) << "n=" << n;
+  }
+}
+
+TEST(SimdParity, MagnitudeSpectrumBitIdenticalToScalar) {
+  Rng rng(9);
+  std::vector<double> sig(300);  // pads to 512
+  for (auto& s : sig) s = rng.uniform(-1, 1);
+  const std::vector<double> auto_mag = magnitude_spectrum(sig);
+  simd::ScopedForceScalar scalar;
+  EXPECT_EQ(auto_mag, magnitude_spectrum(sig));
 }
 
 class FftSizes : public ::testing::TestWithParam<int> {};

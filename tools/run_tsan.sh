@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Configure, build and run the test suite under ThreadSanitizer.
 #
-# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+# Usage: tools/run_tsan.sh [build-dir] [ctest-args...]
+#   build-dir defaults to build-tsan; everything after it is passed through
+#   to ctest, e.g. `tools/run_tsan.sh build-tsan -L 'faults|determinism'`
+#   to mirror CI's tsan matrix entry.
 #
 # Exercises the util::ThreadPool paths (parallel forest training, parallel
 # cross validation, batched inference) with TSan's data-race detection.
@@ -9,7 +12,8 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-tsan"}
+[ "$#" -gt 0 ] && shift
 
 cmake -B "$build_dir" -S "$repo_root" -DLIBRA_SANITIZE=thread
 cmake --build "$build_dir" -j
-ctest --test-dir "$build_dir" --output-on-failure -j
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
