@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/trainer.h"
 #include "env/registry.h"
 #include "mac/beam_training.h"
 #include "ml/compiled_forest.h"
@@ -573,6 +574,181 @@ BENCHMARK(BM_FleetMillionLinks)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);
+
+// The same 10^5-link grid point with the online trainer's row stream
+// attached and the decide phase served through its generation-tagged swap
+// slot (core/trainer.h) -- the costs the serving path pays for online
+// learning: the wants() sampling hash per inference decision, the RowRing
+// offers for sampled rows, and the per-batch ModelSlot pin. The background
+// fit thread is deliberately NOT started: fits happen off-path by
+// construction, so what this grid point gates (vs BM_FleetMillionLinks at
+// the same {links, threads} in BENCH_baseline.json) is the pure on-path
+// overhead, which must stay within a few percent.
+void BM_FleetOnlineTrainer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  auto& f = Fixture::get();
+  static const array::Codebook* small_codebook = [] {
+    array::CodebookConfig cb;
+    cb.num_beams = 5;
+    return new array::Codebook(cb);
+  }();
+  static const env::Environment room = env::make_conference_room();
+
+  struct World {
+    std::vector<env::Environment> envs;
+    std::vector<array::PhasedArray> arrays;  // [2i] = AP, [2i+1] = client
+    std::vector<channel::Link> links;
+    std::vector<core::LibraController> controllers;
+    std::vector<sim::FleetLink> members;
+  };
+
+  std::int64_t frames = 0;
+  std::int64_t sampled = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FleetTrainer trainer;
+    trainer.seed_model(f.classifier.forest());
+    World w;
+    w.envs.reserve(n);
+    w.arrays.reserve(2 * n);
+    w.links.reserve(n);
+    w.controllers.reserve(n);
+    w.members.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w.envs.push_back(room);
+      w.arrays.emplace_back(geom::Vec2{1.0, 3.4}, 0.0, small_codebook);
+      w.arrays.emplace_back(geom::Vec2{6.0 + (i % 4) * 0.8, 2.0 + (i % 3)},
+                            180.0, small_codebook);
+      w.links.emplace_back(&w.envs[i], &w.arrays[2 * i],
+                           &w.arrays[2 * i + 1]);
+      w.controllers.emplace_back(&w.links[i], &f.em, &f.classifier);
+      sim::FleetLink member{&w.envs[i], &w.links[i], &w.controllers[i], {}};
+      // Twice BM_FleetMillionLinks' 20 ms: a sampled decision resolves at
+      // the link's NEXT observe, so links must outlive their first
+      // decision for any TrainRow to reach the rings. links_per_s is a
+      // per-frame-normalized rate, so the grid points stay comparable.
+      member.script.duration_ms = 40.0;
+      member.script.rx_trajectory = sim::Trajectory::stationary(
+          w.arrays[2 * i + 1].position(), 180.0);
+      if (i % 4 == 0) {
+        member.script.blockage.push_back({5.0, 38.0, {{4.0, 2.8}, 0.3, 35.0}});
+      }
+      w.members.push_back(member);
+    }
+    sim::FleetConfig cfg;
+    cfg.seed = 99;
+    cfg.num_threads = threads;
+    cfg.trainer = &trainer;
+    cfg.backend = trainer.backend();
+    state.ResumeTiming();
+    const sim::FleetResult result = sim::run_fleet(w.members, cfg);
+    frames += result.link_frames;
+    sampled += result.trainer_rows_sampled;
+    benchmark::DoNotOptimize(result.ticks);
+    state.PauseTiming();
+    w = World{};  // teardown of n worlds outside the timed region
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(frames);
+  state.counters["links"] = static_cast<double>(n);
+  state.counters["links_per_s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["rows_sampled"] = static_cast<double>(sampled);
+}
+BENCHMARK(BM_FleetOnlineTrainer)
+    ->Args({100000, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The trainer-side row stream in isolation: the wants() sampling hash per
+// inference decision, the RowRing offer for each sampled row, and the
+// periodic drain + canonical-sort + window/holdout ingest. Arg = sample
+// rate in percent (5 = deployment default, 100 = every decision sampled,
+// the ingest-dominated worst case). rows_per_s counts decisions, not
+// sampled rows -- the number comparable to fleet decision throughput.
+void BM_TrainerRowStream(benchmark::State& state) {
+  auto& f = Fixture::get();
+  core::FleetTrainerConfig cfg;
+  cfg.sample_rate = static_cast<double>(state.range(0)) / 100.0;
+  cfg.ring_capacity = 8192;
+  cfg.window_rows = 8192;
+  core::FleetTrainer trainer(cfg);
+  trainer.seed_model(f.classifier.forest());
+  trainer.attach_producers(1);
+  const trace::FeatureVector features =
+      trace::extract_features(f.training.records.front());
+  constexpr std::size_t kDecisionsPerBatch = 4096;
+  std::uint64_t seq = 0;
+  std::int64_t ingested = 0;
+  for (auto _ : state) {
+    for (std::size_t d = 0; d < kDecisionsPerBatch; ++d, ++seq) {
+      const std::uint32_t link = static_cast<std::uint32_t>(seq % 64);
+      if (!trainer.wants(link, seq / 64)) continue;
+      core::TrainRow row;
+      row.tick = static_cast<std::int64_t>(seq);
+      row.link = link;
+      row.features = features;
+      row.label = trace::Action::kBA;
+      trainer.offer(0, std::move(row));
+    }
+    ingested += static_cast<std::int64_t>(trainer.ingest_now());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kDecisionsPerBatch));
+  state.counters["rows_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(kDecisionsPerBatch),
+      benchmark::Counter::kIsRate);
+  state.counters["rows_ingested"] = static_cast<double>(ingested);
+}
+BENCHMARK(BM_TrainerRowStream)
+    ->Arg(5)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// One zero-pause model swap: compile the candidate forest into its flat
+// arena and install it into the generation-tagged ModelSlot while reader
+// threads keep pinning and serving vote batches -- the publish cost
+// handle_model_push and FleetTrainer::train_once pay per shipped
+// candidate, and the proof that a swap never blocks a serving batch for
+// the arena-build duration. Arg = candidate trees.
+void BM_ModelSwapLatency(benchmark::State& state) {
+  auto& f = Fixture::get();
+  ml::RandomForestConfig cfg;
+  cfg.num_trees = static_cast<int>(state.range(0));
+  cfg.num_threads = 1;
+  ml::RandomForest rf(cfg);
+  util::Rng rng(4);
+  rf.fit(f.train_ds, rng);
+
+  core::ModelSlot slot;
+  slot.install(ml::CompiledForest(rf));
+  const ml::DataSet rows = replicate_rows(f.train_ds, 64);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&slot, &rows, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto model = slot.pin();
+        benchmark::DoNotOptimize(model->forest.vote_fractions_batch(rows));
+      }
+    });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slot.install(ml::CompiledForest(rf)));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  state.counters["generation"] = static_cast<double>(slot.generation());
+}
+BENCHMARK(BM_ModelSwapLatency)
+    ->Arg(20)
+    ->Arg(60)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
 
 // A classify round trip through the loopback decision daemon: encode the
 // batch, cross a unix socket, run the compiled forest server-side, decode

@@ -41,7 +41,26 @@ bool all_finite(const trace::FeatureVector& features) {
 }  // namespace
 
 LibraClassifier::LibraClassifier(LibraClassifierConfig cfg)
-    : cfg_(cfg), forest_(cfg.forest) {}
+    : cfg_(cfg), forest_(cfg.forest) {
+  const auto require = [](bool ok, const std::string& what) {
+    if (!ok) throw std::invalid_argument("LibraClassifierConfig: " + what);
+  };
+  require(cfg_.window_snr_jitter_db >= 0.0 &&
+              std::isfinite(cfg_.window_snr_jitter_db),
+          "window_snr_jitter_db must be finite and >= 0");
+  require(cfg_.window_noise_jitter_db >= 0.0 &&
+              std::isfinite(cfg_.window_noise_jitter_db),
+          "window_noise_jitter_db must be finite and >= 0");
+  require(cfg_.window_cdr_jitter >= 0.0 && std::isfinite(cfg_.window_cdr_jitter),
+          "window_cdr_jitter must be finite and >= 0");
+  // Values > 1 are a deliberate "demote every adaptation to NA" setting
+  // (no vote fraction can reach them), so only reject nonsense below 0.
+  require(std::isfinite(cfg_.min_confidence) && cfg_.min_confidence >= 0.0,
+          "min_confidence must be finite and >= 0, got " +
+              std::to_string(cfg_.min_confidence));
+  require(std::isfinite(cfg_.no_ack_ba_overhead_threshold_ms),
+          "no_ack_ba_overhead_threshold_ms must be finite");
+}
 
 ml::Label LibraClassifier::to_label(trace::Action a) {
   switch (a) {
@@ -71,12 +90,32 @@ void LibraClassifier::train(const trace::Dataset& dataset,
   for (const trace::LabeledEntry& e : dataset.labeled3(gt)) {
     train.add(e.x.v, to_label(e.y));
   }
-  if (train.empty()) throw std::invalid_argument("empty training dataset");
-  forest_.fit(train, rng);
+  train_labeled(train, rng);
+}
+
+void LibraClassifier::train_labeled(const ml::DataSet& rows, util::Rng& rng) {
+  if (rows.empty()) throw std::invalid_argument("empty training dataset");
+  if (rows.num_features() != trace::FeatureVector::kDim) {
+    throw std::invalid_argument(
+        "train_labeled: expected " +
+        std::to_string(trace::FeatureVector::kDim) + " features per row, got " +
+        std::to_string(rows.num_features()));
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows.label(i) < 0 || rows.label(i) > 2) {
+      throw std::invalid_argument("train_labeled: label " +
+                                  std::to_string(rows.label(i)) +
+                                  " out of the 3-class range at row " +
+                                  std::to_string(i));
+    }
+  }
+  forest_.fit(rows, rng);
   // Freeze the freshly fitted trees for serving: every classify /
   // classify_batch (and therefore the fleet's batched decide phase) rides
-  // the flat arena from here on. OnlineLibra retrains through this same
-  // path, so a hot-swapped model is recompiled automatically.
+  // the flat arena from here on. OnlineLibra's sliding-window retrain and
+  // the fleet trainer's candidate fits ride this same path, so a
+  // hot-swapped model is recompiled automatically -- and never compiled
+  // when compile_inference is off.
   if (cfg_.compile_inference) forest_.compile(cfg_.compiled);
   trained_ = true;
 }

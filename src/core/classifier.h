@@ -68,11 +68,24 @@ struct LibraClassifierConfig {
 
 class LibraClassifier {
  public:
+  // Validates the config up front (jitter sigmas >= 0, min_confidence
+  // finite and >= 0, thresholds finite) and throws std::invalid_argument --
+  // callers
+  // like OnlineLibra construct once and retrain many times, so a bad knob
+  // must fail at construction, not on the Nth update.
   explicit LibraClassifier(LibraClassifierConfig cfg = {});
 
-  // Train the 3-class model on the (augmented) training dataset.
+  // Train the 3-class model on the (augmented) training dataset. Labels the
+  // records (Dataset::labeled3) and forwards to train_labeled().
   void train(const trace::Dataset& dataset, const trace::GroundTruthConfig& gt,
              util::Rng& rng);
+  // Fit directly on pre-labeled feature rows -- the single fit path shared
+  // by train(), OnlineLibra's sliding-window retrain, and the fleet
+  // trainer's candidate fits (core/trainer.h). Freezes the forest into its
+  // compiled flat-arena form when compile_inference is on. Throws
+  // std::invalid_argument on an empty set, a row width other than
+  // FeatureVector::kDim, or an out-of-range label.
+  void train_labeled(const ml::DataSet& rows, util::Rng& rng);
 
   // Classify an observation-window feature vector (BA / RA / NA). Window
   // noise is added internally to model the short observation window.

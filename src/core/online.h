@@ -9,12 +9,16 @@
 // once the chosen mechanism's outcome and the periodic beam refreshes
 // reveal what the right call was) enter a sliding window; the forest is
 // retrained every `retrain_every` new events on the seed dataset plus the
-// window. Each retrain goes through LibraClassifier::train, so the
-// deployed model is re-frozen into its compiled flat-arena form (see
-// ml/compiled_forest.h) on every hot swap.
+// window. Each retrain rides LibraClassifier::train_labeled -- the same
+// fit path the fleet-scale background trainer (core/trainer.h) uses for
+// its candidate models -- so the deployed model is re-frozen into its
+// compiled flat-arena form exactly when compile_inference says so, and the
+// labeled seed rows are cached once instead of re-copied and re-labeled on
+// every retrain (the window is small; the seed campaign is not).
 #pragma once
 
 #include <deque>
+#include <optional>
 
 #include "core/classifier.h"
 
@@ -58,10 +62,21 @@ class OnlineLibra {
 
  private:
   void retrain(const trace::GroundTruthConfig& gt, util::Rng& rng);
+  // (Re)label the seed campaign into the cached row sets. Runs once at
+  // seed() and again only if a later observe() arrives with a different
+  // ground-truth parameterization.
+  void relabel_seed(const trace::GroundTruthConfig& gt);
 
   OnlineLibraConfig cfg_;
   LibraClassifier classifier_;
-  trace::Dataset seed_;
+  trace::Dataset seed_;  // raw records, kept only for relabel_seed
+  // Labeled seed rows split the way Dataset::labeled3 orders them
+  // (impairment records first, NA augmentation second): a retrain splices
+  // the weighted window rows between the two halves, reproducing the
+  // legacy copy-the-whole-dataset row order bit for bit.
+  ml::DataSet seed_head_rows_{trace::FeatureVector::kDim};
+  ml::DataSet seed_tail_rows_{trace::FeatureVector::kDim};
+  std::optional<trace::GroundTruthConfig> labeled_gt_;
   std::deque<trace::CaseRecord> window_;
   int observed_ = 0;
   int since_retrain_ = 0;

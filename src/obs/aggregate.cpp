@@ -107,6 +107,17 @@ void Aggregator::stop() {
 
 bool Aggregator::running() const { return thread_.joinable(); }
 
+std::vector<double> Aggregator::counter_rate_series(
+    const std::string& origin, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto origin_it = origins_.find(origin);
+  if (origin_it == origins_.end()) return {};
+  const auto counter_it = origin_it->second.counters.find(name);
+  if (counter_it == origin_it->second.counters.end()) return {};
+  const std::deque<double>& pts = counter_it->second.rate.pts;
+  return {pts.begin(), pts.end()};
+}
+
 void Aggregator::rollup_now() {
   StopWatch sw;
   // Collect outside the fold lock: a source poll is a network round trip

@@ -57,7 +57,9 @@ class ScrapeServer {
 
   const Aggregator& agg_;
   ScrapeConfig cfg_;
-  int listen_fd_ = -1;
+  // Atomic because stop() writes -1 (after shutdown()+close()) while the
+  // accept loop is still reading the fd for its next ::accept call.
+  std::atomic<int> listen_fd_{-1};
   int resolved_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -36,6 +36,8 @@ struct ServerMetrics {
   obs::Histogram& batch_rows;
   obs::Histogram& handle_us;
   obs::Histogram& classify_us;
+  obs::Histogram& swap_us;
+  obs::Gauge& model_generation;
 };
 ServerMetrics& server_metrics() {
   obs::Registry& r = obs::Registry::global();
@@ -50,7 +52,9 @@ ServerMetrics& server_metrics() {
                          r.counter("rpc.server.stats_pulls"),
                          r.histogram("rpc.server.batch_rows"),
                          r.histogram("rpc.server.handle_us"),
-                         r.histogram("rpc.server.classify_us")};
+                         r.histogram("rpc.server.classify_us"),
+                         r.histogram("rpc.server.swap_us"),
+                         r.gauge("rpc.server.model_generation")};
   return m;
 }
 
@@ -108,6 +112,9 @@ void DecisionServer::set_forest(const ml::RandomForest& forest) {
 void DecisionServer::install_model(std::shared_ptr<const ServingModel> model) {
   std::lock_guard<std::mutex> lock(model_mu_);
   model_ = std::move(model);
+  const std::uint64_t generation =
+      model_generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  server_metrics().model_generation.set(static_cast<double>(generation));
 }
 
 std::shared_ptr<const DecisionServer::ServingModel> DecisionServer::model()
@@ -383,6 +390,7 @@ Frame DecisionServer::handle_model_push(const Frame& request) {
     // (child ranges, cycles, label/class bounds), so a tampered payload is
     // rejected here and the serving model stays untouched.
     std::istringstream in(msg.model_text);
+    const obs::StopWatch swap_watch;
     const ml::RandomForest pushed = ml::load_forest(in);
     auto model = std::make_shared<ServingModel>();
     model->compiled = ml::CompiledForest(pushed, cfg_.compiled);
@@ -390,6 +398,9 @@ Frame DecisionServer::handle_model_push(const Frame& request) {
     model->num_trees = static_cast<std::uint32_t>(model->compiled.num_trees());
     model->num_classes = model->compiled.num_classes();
     install_model(std::move(model));
+    // Validate -> compile -> install: the full off-path cost of shipping a
+    // pushed model, not just the pointer swap (which is ~free).
+    metrics.swap_us.observe(swap_watch.elapsed_us());
     metrics.model_pushes.inc();
     ack.ok = true;
   } catch (const std::exception& e) {

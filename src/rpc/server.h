@@ -80,6 +80,12 @@ class DecisionServer {
 
   // Serving-model snapshot (Hello answers from this).
   bool model_loaded() const;
+  // Monotonic swap count: 0 until the first set_forest()/ModelPush install,
+  // then +1 per installed model (rejected pushes don't advance it). The
+  // trainer's swap tests read this to prove a push actually landed.
+  std::uint64_t model_generation() const {
+    return model_generation_.load(std::memory_order_acquire);
+  }
 
  private:
   void accept_loop();
@@ -103,7 +109,9 @@ class DecisionServer {
   void install_model(std::shared_ptr<const ServingModel> model);
 
   ServerConfig cfg_;
-  int listen_fd_ = -1;
+  // Atomic because stop() writes -1 (after shutdown()+close()) while the
+  // accept loop is still reading the fd for its next ::accept call.
+  std::atomic<int> listen_fd_{-1};
   int resolved_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -112,6 +120,7 @@ class DecisionServer {
 
   mutable std::mutex model_mu_;
   std::shared_ptr<const ServingModel> model_;
+  std::atomic<std::uint64_t> model_generation_{0};
 
   // Live connection fds, tracked so stop() can shutdown() blocked readers.
   std::mutex conns_mu_;

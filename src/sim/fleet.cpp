@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/decision_backend.h"
+#include "core/trainer.h"
 #include "obs/aggregate.h"
 #include "obs/scrape.h"
 #include "obs/span.h"
@@ -63,6 +64,15 @@ struct Group {
 // (the old loop rescanned the group list per request). Shards never share
 // mutable state, so shard ticks run concurrently without locks.
 struct Shard {
+  // Online-learning row stream (FleetConfig::trainer): a sampled inference
+  // decision parks here until the link's next observe reveals its outcome
+  // in hindsight. Slot-indexed like the request arena.
+  struct PendingRow {
+    unsigned char active = 0;
+    trace::FeatureVector features{};  // decision-time features, un-jittered
+    trace::Action served = trace::Action::kNA;
+  };
+
   std::size_t begin = 0;
   std::size_t end = 0;
   bool finished = false;  // every link done -- skip all later ticks
@@ -72,8 +82,11 @@ struct Shard {
   std::vector<trace::Action> verdicts;
   std::vector<Group> groups;  // first-appearance order, persistent arenas
   std::unordered_map<const core::LibraClassifier*, std::size_t> group_of;
+  std::vector<PendingRow> pending;        // trainer only
+  std::vector<std::uint64_t> sample_seq;  // per-link inference-decision count
   std::int64_t batched_rows = 0;
   std::int64_t link_frames = 0;
+  std::int64_t trainer_rows = 0;
 };
 }  // namespace
 
@@ -197,10 +210,17 @@ FleetResult run_fleet(std::span<const FleetLink> links,
       shard.requests.resize(size);
       shard.has_request.assign(size, 0);
       shard.verdicts.assign(size, trace::Action::kNA);
+      if (cfg.trainer != nullptr) {
+        shard.pending.resize(size);
+        shard.sample_seq.assign(size, 0);
+      }
       shards.push_back(std::move(shard));
       begin += size;
     }
   }
+  // One row ring per shard: a shard's scatter is its ring's only producer,
+  // so offers only ever contend with the trainer's drain, never each other.
+  if (cfg.trainer != nullptr) cfg.trainer->attach_producers(shards.size());
 
   // The pool is only spun up when it can actually overlap shard work.
   // Forest inference inside a shard tick stays safe: classify_batch on a
@@ -228,7 +248,8 @@ FleetResult run_fleet(std::span<const FleetLink> links,
   // is still gathering (environment stepping): the request/row arenas are
   // the double buffer -- filled by gather, drained by decide/scatter --
   // and nothing below synchronizes until the tick boundary.
-  auto tick_shard = [&](Shard& shard) {
+  auto tick_shard = [&](std::size_t s, std::int64_t tick) {
+    Shard& shard = shards[s];
     shard.stepped = false;
 
     // Gather: every active link transmits one frame; rows needing
@@ -249,6 +270,21 @@ FleetResult run_fleet(std::span<const FleetLink> links,
         shard.requests[slot] = drivers[i].observe(rngs[i]);
         shard.has_request[slot] = 1;
         const core::DecisionRequest& req = shard.requests[slot];
+        // A parked row's outcome is now visible: this frame's report says
+        // whether the sampled decision kept the link working. The offer
+        // never blocks (try_lock + drop-oldest inside the ring).
+        if (cfg.trainer != nullptr && shard.pending[slot].active) {
+          Shard::PendingRow& parked = shard.pending[slot];
+          parked.active = 0;
+          core::TrainRow row;
+          row.tick = tick;
+          row.link = static_cast<std::uint32_t>(i);
+          row.features = parked.features;
+          row.label = core::hindsight_label(parked.served, req.report,
+                                            cfg.trainer->config().hindsight);
+          cfg.trainer->offer(s, std::move(row));
+          ++shard.trainer_rows;
+        }
         if (req.needs_inference()) {
           const auto [it, inserted] =
               shard.group_of.try_emplace(req.classifier, shard.groups.size());
@@ -312,6 +348,18 @@ FleetResult run_fleet(std::span<const FleetLink> links,
         if (!shard.has_request[slot]) continue;
         const std::size_t i = shard.begin + slot;
         drivers[i].apply(shard.verdicts[slot], shard.requests[slot], rngs[i]);
+        // Sample this link's inference decisions for the trainer's row
+        // stream. wants() is a pure hash of (trainer seed, link, per-link
+        // decision sequence) -- no Rng stream is touched, so the sampling
+        // (and an attached trainer whose gates never fire) cannot perturb
+        // the simulation.
+        if (cfg.trainer != nullptr && shard.requests[slot].needs_inference()) {
+          const std::uint64_t seq = shard.sample_seq[slot]++;
+          if (cfg.trainer->wants(static_cast<std::uint32_t>(i), seq)) {
+            shard.pending[slot] = Shard::PendingRow{
+                1, shard.requests[slot].features, shard.verdicts[slot]};
+          }
+        }
         ++applied;
       }
       if (applied > 0) {
@@ -324,11 +372,12 @@ FleetResult run_fleet(std::span<const FleetLink> links,
   };
 
   bool any_active = !shards.empty();
+  std::int64_t tick = 0;
   while (any_active) {
     const obs::StopWatch tick_watch;
     OBS_SPAN("fleet.tick");
     util::parallel_for(pool, shards.size(), [&](std::size_t s) {
-      if (!shards[s].finished) tick_shard(shards[s]);
+      if (!shards[s].finished) tick_shard(s, tick);
     });
     any_active = false;
     for (const Shard& shard : shards) {
@@ -340,12 +389,20 @@ FleetResult run_fleet(std::span<const FleetLink> links,
       const double tick_us = tick_watch.elapsed_us();
       result.tick_latency_us.add(tick_us);
       metrics.tick_latency_us.observe(tick_us);
+      // Pinned-schedule trainer mode: drain + scheduled swaps run here, in
+      // the serial region after the shard barrier, so a swap lands at a
+      // deterministic tick boundary whatever the (shards, threads) grid.
+      if (cfg.trainer != nullptr && cfg.trainer->pinned_schedule()) {
+        cfg.trainer->on_tick(tick);
+      }
     }
+    ++tick;
   }
 
   for (const Shard& shard : shards) {
     result.batched_rows += shard.batched_rows;
     result.link_frames += shard.link_frames;
+    result.trainer_rows_sampled += shard.trainer_rows;
   }
   result.links.reserve(drivers.size());
   for (SessionDriver& driver : drivers) {

@@ -44,6 +44,7 @@
 
 namespace libra::core {
 class DecisionBackend;  // core/decision_backend.h
+class FleetTrainer;     // core/trainer.h
 }
 
 namespace libra::sim {
@@ -101,6 +102,20 @@ struct FleetConfig {
   // std::invalid_argument on a port outside [0, 65535].
   int scrape_port = 0;
   double scrape_rollup_ms = 1000.0;
+  // Online-learning row stream (core/trainer.h). Non-null attaches the
+  // trainer as a row consumer: scatter samples each link's inference
+  // decisions through the trainer's seeded hash (never the link Rng
+  // streams), and the sampled decision resolves into a hindsight-labeled
+  // TrainRow at that link's next observe. run_fleet sizes one ring per
+  // shard (attach_producers) up front. An attached trainer that never
+  // ships a swap is bit-identical to trainer == nullptr; to actually serve
+  // the trainer's models, also point `backend` at trainer->backend(). With
+  // a pinned swap_at_ticks schedule, run_fleet calls trainer->on_tick()
+  // serially after every tick's shard barrier, so swaps land at
+  // deterministic tick boundaries and the run replays bit-for-bit at any
+  // (shards, num_threads); in free-running mode start() the trainer before
+  // run_fleet (no replay promise). Non-owning.
+  core::FleetTrainer* trainer = nullptr;
 };
 
 struct FleetResult {
@@ -112,6 +127,8 @@ struct FleetResult {
   std::int64_t batched_rows = 0;  // feature rows served through classify_batch
   std::int64_t link_frames = 0;   // frames transmitted across all links --
                                   // the links/s numerator for fleet benches
+  // Rows offered to FleetConfig::trainer's row stream (0 with no trainer).
+  std::int64_t trainer_rows_sampled = 0;
   int shards_used = 0;            // shard count after resolution/clamping
   // Wall-clock per lockstep tick (all shards' gather + batched decide +
   // scatter). The same per-tick measurement also feeds the

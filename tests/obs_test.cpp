@@ -544,6 +544,44 @@ TEST(ObsAggregator, MergesRemoteSourceUnderItsOwnOrigin) {
   EXPECT_NE(root.find("origins")->find("daemon"), nullptr);
 }
 
+// counter_rate_series is series_json() without the JSON round trip: the
+// same per-window rate points, addressed by (origin, counter name). The
+// fleet trainer's drift detector consumes it directly.
+TEST(ObsAggregator, CounterRateSeriesMatchesJsonExport) {
+  obs::Counter& c = obs::Registry::global().counter("obs_test.rate_series");
+  obs::Aggregator agg;  // local_origin defaults to "controller"
+  c.inc(5);
+  agg.rollup_now();
+  c.inc(7);
+  agg.rollup_now();
+
+  const std::vector<double> rates =
+      agg.counter_rate_series("controller", "obs_test.rate_series");
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_GT(rates[0], 0.0);
+  EXPECT_GT(rates[1], 0.0);
+
+  const testing::JsonValue root = parse_json(agg.series_json());
+  const testing::JsonValue* rate = root.find("origins")
+                                       ->find("controller")
+                                       ->find("counters")
+                                       ->find("obs_test.rate_series")
+                                       ->find("rate");
+  ASSERT_NE(rate, nullptr);
+  ASSERT_EQ(rate->array.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    // The JSON export prints ~6 significant digits; compare to its
+    // round-trip precision, not bit-exactly.
+    EXPECT_NEAR(rate->array[i].number, rates[i],
+                1e-4 * std::abs(rates[i]) + 1e-12)
+        << "window " << i;
+  }
+
+  // Unknown origin or counter: empty, not a throw.
+  EXPECT_TRUE(agg.counter_rate_series("nobody", "obs_test.rate_series").empty());
+  EXPECT_TRUE(agg.counter_rate_series("controller", "no.such.counter").empty());
+}
+
 TEST(ObsAggregator, HostileSourcesAreCountedNotFatal) {
   const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
   obs::Aggregator agg;

@@ -23,7 +23,9 @@
 //       Live fleet dashboard: poll /series.json from a scrape endpoint
 //       (a `libra serve --metrics-port` daemon or a fleet run with
 //       FleetConfig::scrape_port / `simulate --scrape-port`) and render
-//       links/s, tick p99, degraded/fallback rates, and per-MCS occupancy.
+//       links/s, tick p99, degraded/fallback rates, per-MCS occupancy, and
+//       -- when the origin runs an online FleetTrainer -- the trainer panel
+//       (generation, drift score, holdout accuracies, swap counts).
 //       --once prints a single frame and exits (CI smoke uses this).
 //
 // `collect` and `simulate` additionally take telemetry flags:
@@ -45,6 +47,14 @@
 //                      the fleet stage (FleetConfig::scrape_port); with
 //                      --backend the daemon's stats are merged in under
 //                      its own origin label.
+//   --online-fleet     attach a free-running background trainer to the
+//                      fleet stage (core/trainer.h): shards sample a seeded
+//                      subset of inference decisions into hindsight-labeled
+//                      rows, the trainer refits candidates off-path, and a
+//                      drift+accuracy-gated swap publishes through the
+//                      generation-tagged ModelSlot the fleet serves from.
+//                      With --backend remote:ADDR every shipped candidate
+//                      is also pushed to the daemon (ModelPush).
 // Unrecognized options fail any command with exit code 2.
 #include <csignal>
 #include <cstdio>
@@ -57,6 +67,7 @@
 
 #include "core/classifier.h"
 #include "core/controller.h"
+#include "core/trainer.h"
 #include "env/registry.h"
 #include "ml/metrics.h"
 #include "ml/model_io.h"
@@ -237,7 +248,8 @@ int cmd_export_csv(const Args& args) {
 void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
                      const faults::FaultPlan* faults_plan = nullptr,
                      core::DecisionBackend* backend = nullptr,
-                     int scrape_port = 0) {
+                     int scrape_port = 0,
+                     core::FleetTrainer* trainer = nullptr) {
   constexpr int kStations = 4;
   phy::McsTable table;
   phy::ErrorModel em(&table);
@@ -278,6 +290,14 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
   cfg.backend = backend;
   cfg.scrape_port = scrape_port;
   if (faults_plan != nullptr) cfg.faults = *faults_plan;
+  if (trainer != nullptr) {
+    // Online fleet: the trainer samples the row stream AND serves the
+    // decide phase through its generation-tagged slot -- a remote daemon
+    // (if any) receives shipped candidates via set_remote_push instead of
+    // answering vote batches.
+    cfg.trainer = trainer;
+    cfg.backend = trainer->backend();
+  }
   if (scrape_port > 0) {
     std::printf("fleet scrape: http://127.0.0.1:%d/metrics (also /healthz, "
                 "/series.json)\n", scrape_port);
@@ -292,8 +312,21 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
   std::printf("fleet digest: 0x%016llx (backend=%s)\n",
               static_cast<unsigned long long>(
                   sim::degradation_digest(result)),
-              backend != nullptr ? std::string(backend->name()).c_str()
-                                 : "local");
+              cfg.backend != nullptr
+                  ? std::string(cfg.backend->name()).c_str()
+                  : "local");
+  if (trainer != nullptr) {
+    std::printf("online trainer: generation %llu, %llu rows sampled "
+                "(%llu dropped), %llu fits, %llu shipped / %llu rejected, "
+                "drift %.3f\n",
+                static_cast<unsigned long long>(trainer->generation()),
+                static_cast<unsigned long long>(trainer->rows_sampled()),
+                static_cast<unsigned long long>(trainer->rows_dropped()),
+                static_cast<unsigned long long>(trainer->fits()),
+                static_cast<unsigned long long>(trainer->swaps_shipped()),
+                static_cast<unsigned long long>(trainer->swaps_rejected()),
+                trainer->drift_score());
+  }
   if (faults_plan != nullptr) {
     const auto* injected = result.metrics.find_counter("faults.injected");
     std::printf("fault stage: plan seed %llu, %llu faults injected "
@@ -306,7 +339,8 @@ void run_fleet_stage(core::LibraClassifier& classifier, std::uint64_t seed,
 
 int cmd_simulate(const Args& args) {
   args.require_known({"ba", "fat", "flow", "alpha", "seed", "metrics",
-                      "trace-out", "faults", "backend", "scrape-port"});
+                      "trace-out", "faults", "backend", "scrape-port",
+                      "online-fleet"});
   if (args.positional.size() < 2) {
     std::fprintf(stderr, "usage: libra simulate <train.ds> <eval.ds>\n");
     return 2;
@@ -350,8 +384,10 @@ int cmd_simulate(const Args& args) {
   // `libra serve` daemon.
   const std::string backend_spec = args.str("backend");
   const int scrape_port = static_cast<int>(args.number("scrape-port", 0));
+  const bool online_fleet = args.flag("online-fleet");
   if (args.flag("metrics") || !args.str("trace-out").empty() ||
-      args.flag("faults") || !backend_spec.empty() || scrape_port > 0) {
+      args.flag("faults") || !backend_spec.empty() || scrape_port > 0 ||
+      online_fleet) {
     std::optional<faults::FaultPlan> plan;
     if (args.flag("faults")) {
       plan = faults::demo_plan(
@@ -387,10 +423,32 @@ int cmd_simulate(const Args& args) {
                     remote->client().address().c_str());
       }
     }
+    std::unique_ptr<core::FleetTrainer> trainer;
+    if (online_fleet) {
+      // Free-running online learning over the fleet stage: the trainer
+      // starts from the freshly trained forest (generation 1) and serves
+      // the decide phase through its swap slot. With --backend, shipped
+      // candidates are forwarded to the daemon too -- a failed push keeps
+      // the local swap and is only counted.
+      core::FleetTrainerConfig tcfg;
+      tcfg.seed = static_cast<std::uint64_t>(args.number("seed", 1));
+      trainer = std::make_unique<core::FleetTrainer>(tcfg);
+      trainer->seed_model(classifier.forest());
+      if (remote) {
+        trainer->set_remote_push([&remote](const ml::RandomForest& forest) {
+          const std::optional<rpc::AckMsg> ack =
+              remote->client().push_model(forest);
+          return ack.has_value() && ack->ok;
+        });
+      }
+      trainer->start();
+    }
     run_fleet_stage(classifier,
                     static_cast<std::uint64_t>(args.number("seed", 1)),
                     plan ? &*plan : nullptr,
-                    remote ? &*remote : nullptr, scrape_port);
+                    remote ? &*remote : nullptr, scrape_port,
+                    trainer.get());
+    if (trainer) trainer->stop();
   }
   dump_telemetry(args);
   return 0;
@@ -484,6 +542,14 @@ const util::JsonValue* find_metric(const util::JsonValue& origin,
   return k == nullptr ? nullptr : k->find(name);
 }
 
+// A gauge series carries a scalar "last" (most recent set), a counter
+// series a scalar "total" -- not the ring arrays ring_last reads.
+double scalar_of(const util::JsonValue* series, const char* key) {
+  if (series == nullptr) return 0.0;
+  const util::JsonValue* v = series->find(key);
+  return v == nullptr ? 0.0 : v->number;
+}
+
 void render_top_frame(const util::JsonValue& root, bool clear_screen) {
   if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
   const util::JsonValue* rollups = root.find("rollups");
@@ -520,6 +586,34 @@ void render_top_frame(const util::JsonValue& root, bool clear_screen) {
                        "rate"), 0)});
   }
   std::fputs(t.to_string().c_str(), stdout);
+
+  // Online-trainer panel: shown only for origins running a FleetTrainer
+  // (the trainer.generation gauge exists once a model is seeded).
+  for (const auto& [name, origin] : origins->object) {
+    const util::JsonValue* generation =
+        find_metric(origin, "gauges", "trainer.generation");
+    if (generation == nullptr) continue;
+    std::printf(
+        "online trainer (%s): gen %.0f, drift %.3f, acc %.3f vs %.3f, "
+        "window %.0f rows, %.0f rows/s sampled, swaps %.0f/%.0f "
+        "(shipped/rejected), fits %.0f\n",
+        name.c_str(), scalar_of(generation, "last"),
+        scalar_of(find_metric(origin, "gauges", "trainer.drift_score"),
+                  "last"),
+        scalar_of(find_metric(origin, "gauges", "trainer.candidate_acc"),
+                  "last"),
+        scalar_of(find_metric(origin, "gauges", "trainer.incumbent_acc"),
+                  "last"),
+        scalar_of(find_metric(origin, "gauges", "trainer.window_rows"),
+                  "last"),
+        ring_last(find_metric(origin, "counters", "trainer.rows_sampled"),
+                  "rate"),
+        scalar_of(find_metric(origin, "counters", "trainer.swaps_shipped"),
+                  "total"),
+        scalar_of(find_metric(origin, "counters", "trainer.swaps_rejected"),
+                  "total"),
+        scalar_of(find_metric(origin, "counters", "trainer.fits"), "total"));
+  }
 
   // Per-MCS occupancy (frames transmitted per MCS index, cumulative):
   // share-of-total bars across every origin that reports the counters.
@@ -611,6 +705,7 @@ void usage() {
                "[--flow MS]\n"
                "            [--metrics] [--trace-out FILE] [--faults SEED]\n"
                "            [--backend remote:ADDR] [--scrape-port N]\n"
+               "            [--online-fleet]\n"
                "  serve <forest> --socket PATH | --port N [--host H]\n"
                "            [--workers N] [--metrics] [--metrics-port N]\n"
                "  top HOST:PORT [--interval-ms N] [--once]\n");
